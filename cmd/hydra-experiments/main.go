@@ -1,0 +1,195 @@
+// Command hydra-experiments regenerates every table and figure of the
+// paper's evaluation section:
+//
+//	table1 — the Table I security-task inventory
+//	fig1   — UAV case study: detection-time ECDFs, HYDRA vs SingleCore
+//	fig2   — synthetic tasksets: acceptance-ratio improvement vs utilization
+//	fig3   — HYDRA vs exhaustive-optimal cumulative-tightness gap
+//
+// Each experiment prints plot-ready rows (text or CSV). Runs are
+// deterministic for a fixed -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hydra/internal/experiments"
+	"hydra/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hydra-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hydra-experiments", flag.ContinueOnError)
+	which := fs.String("experiment", "all", "table1, fig1, fig2, fig3, ablation or all")
+	seed := fs.Int64("seed", 1, "RNG seed (experiments are deterministic per seed)")
+	tasksets := fs.Int("tasksets", 250, "tasksets per utilization point (fig2; fig3 uses a quarter)")
+	attacks := fs.Int("attacks", 1000, "attacks per scheme and core count (fig1)")
+	cores := fs.String("cores", "2,4,8", "comma-separated platform sizes (fig1, fig2)")
+	format := fs.String("format", "text", "output format: text or csv")
+	refine := fs.Bool("refine", false, "fig3: refine optimal periods with the sequential-GP maximizer")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	coreList, err := parseCores(*cores)
+	if err != nil {
+		return err
+	}
+	emit := func(tb *report.Table) error {
+		if *format == "csv" {
+			return tb.WriteCSV(stdout)
+		}
+		return tb.WriteText(stdout)
+	}
+
+	runTable1 := func() error {
+		fmt.Fprintln(stdout, "== Table I: security tasks (Tripwire + Bro) ==")
+		_, err := io.WriteString(stdout, experiments.FormatTable1())
+		return err
+	}
+
+	runFig1 := func() error {
+		fmt.Fprintln(stdout, "\n== Fig. 1: UAV case study, detection-time ECDF (HYDRA vs SingleCore) ==")
+		res, err := experiments.RunFig1(experiments.Fig1Config{Cores: coreList, Attacks: *attacks, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		summary := report.NewTable("cores", "hydra_mean_ms", "singlecore_mean_ms", "improvement", "censored_h", "censored_s")
+		for _, row := range res.Rows {
+			summary.AddRowf("%d\t%s\t%s\t%s\t%d\t%d",
+				row.M, report.F(row.Hydra.MeanDetection), report.F(row.SingleCore.MeanDetection),
+				report.Pct(row.ImprovementPct), row.Hydra.Censored, row.SingleCore.Censored)
+		}
+		if err := emit(summary); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "\nECDF series (detection time ms -> empirical CDF):")
+		for _, row := range res.Rows {
+			tb := report.NewTable("detection_ms", fmt.Sprintf("hydra_M%d", row.M), fmt.Sprintf("singlecore_M%d", row.M))
+			for i := range row.Hydra.Series {
+				tb.AddRowf("%.0f\t%s\t%s", row.Hydra.Series[i][0],
+					report.F(row.Hydra.Series[i][1]), report.F(row.SingleCore.Series[i][1]))
+			}
+			if err := emit(tb); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
+		}
+		return nil
+	}
+
+	runFig2 := func() error {
+		fmt.Fprintln(stdout, "\n== Fig. 2: improvement in acceptance ratio vs total utilization ==")
+		for _, m := range coreList {
+			pts, err := experiments.RunFig2(experiments.Fig2Config{M: m, TasksetsPerPoint: *tasksets, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "\n-- %d cores --\n", m)
+			tb := report.NewTable("total_util", "generated", "hydra_ratio", "singlecore_ratio", "improvement")
+			for _, p := range pts {
+				tb.AddRowf("%s\t%d\t%s\t%s\t%s",
+					report.F(p.TotalUtil), p.Generated, report.F(p.HydraRatio()), report.F(p.SingleRatio()), report.Pct(p.ImprovementPct))
+			}
+			if err := emit(tb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	runFig3 := func() error {
+		fmt.Fprintln(stdout, "\n== Fig. 3: cumulative-tightness gap, HYDRA vs optimal (M=2, NS in [2,6]) ==")
+		pts, err := experiments.RunFig3(experiments.Fig3Config{
+			TasksetsPerPoint: max(1, *tasksets/4), Seed: *seed, RefineJointGP: *refine,
+		})
+		if err != nil {
+			return err
+		}
+		tb := report.NewTable("total_util", "compared", "mean_gap", "max_gap")
+		for _, p := range pts {
+			tb.AddRowf("%s\t%d\t%s\t%s", report.F(p.TotalUtil), p.Compared, report.Pct(p.MeanGapPct), report.Pct(p.MaxGapPct))
+		}
+		return emit(tb)
+	}
+
+	runAblation := func() error {
+		fmt.Fprintln(stdout, "\n== Ablation: commitment policy x RT-partition heuristic (DESIGN.md §5) ==")
+		for _, m := range coreList {
+			cells, err := experiments.RunAblation(experiments.AblationConfig{
+				M: m, TasksetsPerCell: max(1, *tasksets/2), Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "\n-- %d cores, U = 0.8M --\n", m)
+			tb := report.NewTable("policy", "rt_heuristic", "acceptance", "mean_tightness")
+			for _, c := range cells {
+				tb.AddRowf("%s\t%s\t%s\t%s", c.Policy, c.Heuristic,
+					report.F(c.AcceptanceRatio()), report.F(c.MeanTightness))
+			}
+			if err := emit(tb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	switch *which {
+	case "table1":
+		return runTable1()
+	case "fig1":
+		return runFig1()
+	case "fig2":
+		return runFig2()
+	case "fig3":
+		return runFig3()
+	case "ablation":
+		return runAblation()
+	case "all":
+		for _, f := range []func() error{runTable1, runFig1, runFig2, runFig3, runAblation} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+}
+
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, err := strconv.Atoi(part)
+		if err != nil || m < 2 {
+			return nil, fmt.Errorf("invalid core count %q (need integers >= 2)", part)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no core counts given")
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

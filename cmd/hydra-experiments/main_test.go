@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestTable1Experiment(t *testing.T) {
+	out, err := runExp(t, "-experiment", "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Tripwire") || !strings.Contains(out, "Bro") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestFig1ExperimentSmall(t *testing.T) {
+	out, err := runExp(t, "-experiment", "fig1", "-attacks", "100", "-cores", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "improvement") || !strings.Contains(out, "hydra_M2") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestFig2ExperimentSmall(t *testing.T) {
+	out, err := runExp(t, "-experiment", "fig2", "-tasksets", "5", "-cores", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hydra_ratio") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestFig3ExperimentSmall(t *testing.T) {
+	out, err := runExp(t, "-experiment", "fig3", "-tasksets", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mean_gap") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out, err := runExp(t, "-experiment", "fig2", "-tasksets", "3", "-cores", "2", "-format", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "total_util,generated") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	if _, err := runExp(t, "-experiment", "bogus"); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if _, err := runExp(t, "-cores", "1"); err == nil {
+		t.Fatal("core count < 2 must error")
+	}
+	if _, err := runExp(t, "-cores", "x"); err == nil {
+		t.Fatal("non-numeric cores must error")
+	}
+	if _, err := runExp(t, "-cores", ""); err == nil {
+		t.Fatal("empty cores must error")
+	}
+}
+
+func TestParseCores(t *testing.T) {
+	got, err := parseCores("2, 4,8")
+	if err != nil || len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 8 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestAblationExperimentSmall(t *testing.T) {
+	out, err := runExp(t, "-experiment", "ablation", "-tasksets", "6", "-cores", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mean_tightness") || !strings.Contains(out, "best-tightness") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

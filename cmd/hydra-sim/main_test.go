@@ -1,0 +1,118 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDoc = `{
+  "cores": 2,
+  "rt_tasks": [
+    {"name": "ctl", "wcet_ms": 5, "period_ms": 20},
+    {"name": "nav", "wcet_ms": 30, "period_ms": 100}
+  ],
+  "security_tasks": [
+    {"name": "tw", "wcet_ms": 50, "desired_period_ms": 1000, "max_period_ms": 10000},
+    {"name": "bro", "wcet_ms": 30, "desired_period_ms": 500, "max_period_ms": 5000}
+  ]
+}`
+
+func runSim(t *testing.T, args []string, stdin string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, strings.NewReader(stdin), &sb)
+	return sb.String(), err
+}
+
+func TestSimulateHydra(t *testing.T) {
+	out, err := runSim(t, []string{"-horizon", "20000", "-attacks", "100"}, sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cumulative tightness", "utilization", "mean detection", "misses"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "detected: 100") {
+		t.Fatalf("all attacks should be detected:\n%s", out)
+	}
+}
+
+func TestSimulateSingleCore(t *testing.T) {
+	out, err := runSim(t, []string{"-scheme", "singlecore", "-horizon", "20000", "-attacks", "50"}, sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "singlecore") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestSimulateSlackMode(t *testing.T) {
+	out, err := runSim(t, []string{"-slack", "-horizon", "20000", "-attacks", "50", "-gantt", "200"}, sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sec(any)") {
+		t.Fatalf("slack mode should show the virtual security row:\n%s", out)
+	}
+	if !strings.Contains(out, "execute on any idle core") {
+		t.Fatalf("gantt label missing:\n%s", out)
+	}
+}
+
+func TestSimulateGantt(t *testing.T) {
+	out, err := runSim(t, []string{"-gantt", "300", "-horizon", "10000", "-attacks", "0"}, sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t=[0, 300) ms") || !strings.Contains(out, "#") {
+		t.Fatalf("gantt missing:\n%s", out)
+	}
+	if strings.Contains(out, "mean detection") {
+		t.Fatal("-attacks 0 must disable the campaign")
+	}
+}
+
+func TestSimulateUnschedulable(t *testing.T) {
+	doc := `{
+	  "cores": 2,
+	  "rt_tasks": [{"name":"a","wcet_ms":90,"period_ms":100},{"name":"b","wcet_ms":90,"period_ms":100}],
+	  "security_tasks": [{"name":"s","wcet_ms":50,"desired_period_ms":100,"max_period_ms":200}]
+	}`
+	out, err := runSim(t, nil, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "UNSCHEDULABLE") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestSimulateBadInput(t *testing.T) {
+	if _, err := runSim(t, nil, "{"); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+	if _, err := runSim(t, []string{"-scheme", "bogus"}, sampleDoc); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+	if _, err := runSim(t, []string{"-input", "/nonexistent/x.json"}, ""); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestNamedWorkloads(t *testing.T) {
+	for _, w := range []string{"uav", "automotive", "avionics"} {
+		out, err := runSim(t, []string{"-workload", w, "-m", "2", "-horizon", "30000", "-attacks", "50"}, "")
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if !strings.Contains(out, "cumulative tightness") {
+			t.Fatalf("%s output:\n%s", w, out)
+		}
+	}
+	if _, err := runSim(t, []string{"-workload", "bogus"}, ""); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}

@@ -1,0 +1,161 @@
+// Command hydra allocates security tasks onto a partitioned multicore
+// real-time system, implementing the HYDRA heuristic of Hasan et al.
+// (DATE 2018) alongside the SingleCore and exhaustive-optimal baselines.
+//
+// Usage:
+//
+//	hydra -input taskset.json [-scheme hydra|singlecore|opt] [-policy ...]
+//
+// The input format is documented in internal/tasksetio; see
+// examples/quickstart for a minimal programmatic use of the library.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hydra/internal/core"
+	"hydra/internal/partition"
+	"hydra/internal/report"
+	"hydra/internal/tasksetio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hydra:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hydra", flag.ContinueOnError)
+	input := fs.String("input", "-", "taskset JSON file ('-' for stdin)")
+	scheme := fs.String("scheme", "hydra", "allocation scheme: hydra, singlecore or opt")
+	policy := fs.String("policy", "best-tightness", "HYDRA commitment policy: best-tightness, first-feasible or least-loaded")
+	heuristic := fs.String("heuristic", "best-fit", "RT partition heuristic: first-fit, best-fit, worst-fit or next-fit")
+	useGP := fs.Bool("gp", false, "solve period adaptation with the geometric-programming solver instead of the closed form")
+	explain := fs.Bool("explain", false, "hydra scheme: print the per-task decision trace (candidate cores, periods, hints)")
+	refine := fs.Bool("refine", false, "opt scheme: refine per-core periods with the signomial sequential-GP maximizer")
+	format := fs.String("format", "text", "output format: text or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src io.Reader = stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	problem, err := tasksetio.Decode(src)
+	if err != nil {
+		return err
+	}
+	h, err := parseHeuristic(*heuristic)
+	if err != nil {
+		return err
+	}
+
+	var res *core.Result
+	var in *core.Input
+	switch *scheme {
+	case "hydra", "opt":
+		part, err := problem.Partition(h)
+		if err != nil {
+			return fmt.Errorf("partition real-time tasks: %w", err)
+		}
+		in, err = core.NewInput(problem.M, problem.RT, part, problem.Sec)
+		if err != nil {
+			return err
+		}
+		if *scheme == "hydra" {
+			pol, err := parsePolicy(*policy)
+			if err != nil {
+				return err
+			}
+			if *explain {
+				ex := core.ExplainHydra(in)
+				if err := ex.WriteText(stdout); err != nil {
+					return err
+				}
+				if !ex.Result.Schedulable {
+					fmt.Fprintf(stdout, "UNSCHEDULABLE (%s): %s\n", ex.Result.Scheme, ex.Result.Reason)
+					return nil
+				}
+				fmt.Fprintln(stdout)
+			}
+			res = core.Hydra(in, core.HydraOptions{Policy: pol, UseGP: *useGP})
+		} else {
+			res = core.Optimal(in, core.OptimalOptions{RefineJointGP: *refine, MaxAssignments: 1 << 20})
+		}
+	case "singlecore":
+		in, err = core.NewSingleCoreInput(problem.M, problem.RT, problem.Sec, h)
+		if err != nil {
+			return err
+		}
+		res = core.SingleCoreInput(in)
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+
+	if !res.Schedulable {
+		fmt.Fprintf(stdout, "UNSCHEDULABLE (%s): %s\n", res.Scheme, res.Reason)
+		return nil
+	}
+	if err := core.Verify(in, res); err != nil {
+		return fmt.Errorf("internal error: result failed verification: %w", err)
+	}
+
+	tb := report.NewTable("task", "core", "period_ms", "tightness", "weight")
+	for i, s := range problem.Sec {
+		tb.AddRowf("%s\t%d\t%s\t%s\t%s",
+			s.Name, res.Assignment[i], report.F(res.Periods[i]), report.F(res.Tightness[i]), report.F(s.EffectiveWeight()))
+	}
+	switch *format {
+	case "text":
+		fmt.Fprintf(stdout, "scheme: %s  cores: %d  cumulative tightness: %s\n\n", res.Scheme, problem.M, report.F(res.Cumulative))
+		if err := tb.WriteText(stdout); err != nil {
+			return err
+		}
+	case "csv":
+		if err := tb.WriteCSV(stdout); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}
+
+func parseHeuristic(s string) (partition.Heuristic, error) {
+	switch s {
+	case "first-fit":
+		return partition.FirstFit, nil
+	case "best-fit":
+		return partition.BestFit, nil
+	case "worst-fit":
+		return partition.WorstFit, nil
+	case "next-fit":
+		return partition.NextFit, nil
+	default:
+		return 0, fmt.Errorf("unknown heuristic %q", s)
+	}
+}
+
+func parsePolicy(s string) (core.Policy, error) {
+	switch s {
+	case "best-tightness":
+		return core.BestTightness, nil
+	case "first-feasible":
+		return core.FirstFeasible, nil
+	case "least-loaded":
+		return core.LeastLoaded, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}

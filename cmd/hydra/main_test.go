@@ -1,0 +1,172 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleDoc = `{
+  "cores": 2,
+  "rt_tasks": [
+    {"name": "ctl", "wcet_ms": 5, "period_ms": 20},
+    {"name": "nav", "wcet_ms": 30, "period_ms": 100}
+  ],
+  "security_tasks": [
+    {"name": "tw", "wcet_ms": 50, "desired_period_ms": 1000, "max_period_ms": 10000},
+    {"name": "bro", "wcet_ms": 30, "desired_period_ms": 500, "max_period_ms": 5000}
+  ]
+}`
+
+func runCLI(t *testing.T, args []string, stdin string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, strings.NewReader(stdin), &sb)
+	return sb.String(), err
+}
+
+func TestSchemesOnStdin(t *testing.T) {
+	for _, scheme := range []string{"hydra", "singlecore", "opt"} {
+		out, err := runCLI(t, []string{"-scheme", scheme}, sampleDoc)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if !strings.Contains(out, "cumulative tightness") {
+			t.Fatalf("%s output missing summary:\n%s", scheme, out)
+		}
+		if !strings.Contains(out, "tw") || !strings.Contains(out, "bro") {
+			t.Fatalf("%s output missing tasks:\n%s", scheme, out)
+		}
+	}
+}
+
+func TestInputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "taskset.json")
+	if err := os.WriteFile(path, []byte(sampleDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, []string{"-input", path}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hydra") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if _, err := runCLI(t, []string{"-input", filepath.Join(t.TempDir(), "missing.json")}, ""); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	out, err := runCLI(t, []string{"-format", "csv"}, sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "task,core,period_ms") {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}
+
+func TestGPFlagAgrees(t *testing.T) {
+	plain, err := runCLI(t, nil, sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := runCLI(t, []string{"-gp"}, sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periods are printed with 3 decimals; closed form and GP agree to that.
+	if plain != gp {
+		t.Fatalf("closed form and GP outputs differ:\n%s\nvs\n%s", plain, gp)
+	}
+}
+
+func TestPoliciesAndHeuristics(t *testing.T) {
+	for _, pol := range []string{"best-tightness", "first-feasible", "least-loaded"} {
+		if _, err := runCLI(t, []string{"-policy", pol}, sampleDoc); err != nil {
+			t.Fatalf("policy %s: %v", pol, err)
+		}
+	}
+	for _, h := range []string{"first-fit", "best-fit", "worst-fit", "next-fit"} {
+		if _, err := runCLI(t, []string{"-heuristic", h}, sampleDoc); err != nil {
+			t.Fatalf("heuristic %s: %v", h, err)
+		}
+	}
+}
+
+func TestUnschedulableReported(t *testing.T) {
+	doc := `{
+	  "cores": 2,
+	  "rt_tasks": [
+	    {"name": "a", "wcet_ms": 90, "period_ms": 100},
+	    {"name": "b", "wcet_ms": 90, "period_ms": 100}
+	  ],
+	  "security_tasks": [
+	    {"name": "s", "wcet_ms": 50, "desired_period_ms": 100, "max_period_ms": 200}
+	  ]
+	}`
+	out, err := runCLI(t, nil, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "UNSCHEDULABLE") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-scheme", "bogus"},
+		{"-policy", "bogus"},
+		{"-heuristic", "bogus"},
+		{"-format", "bogus"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args, sampleDoc); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+	if _, err := runCLI(t, nil, "{"); err == nil {
+		t.Error("bad JSON must error")
+	}
+}
+
+func TestRefineOpt(t *testing.T) {
+	out, err := runCLI(t, []string{"-scheme", "opt", "-refine"}, sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "opt") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestExplainFlag(t *testing.T) {
+	out, err := runCLI(t, []string{"-explain"}, sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* core") || !strings.Contains(out, "cumulative tightness") {
+		t.Fatalf("explain output incomplete:\n%s", out)
+	}
+	// Infeasible workload: the trace plus the verdict, no panic.
+	doc := `{
+	  "cores": 2,
+	  "rt_tasks": [
+	    {"name": "a", "wcet_ms": 90, "period_ms": 100},
+	    {"name": "b", "wcet_ms": 90, "period_ms": 100}
+	  ],
+	  "security_tasks": [
+	    {"name": "s", "wcet_ms": 50, "desired_period_ms": 100, "max_period_ms": 200}
+	  ]
+	}`
+	out, err = runCLI(t, []string{"-explain"}, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hint:") || !strings.Contains(out, "UNSCHEDULABLE") {
+		t.Fatalf("explain infeasible output:\n%s", out)
+	}
+}

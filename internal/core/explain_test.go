@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hydra/internal/rts"
+)
+
+func TestExplainHydraMatchesHydra(t *testing.T) {
+	sec := []rts.SecurityTask{
+		{Name: "a", C: 10, TDes: 100, TMax: 2000},
+		{Name: "b", C: 15, TDes: 150, TMax: 3000},
+		{Name: "c", C: 20, TDes: 200, TMax: 4000},
+	}
+	in := twoCoreInput(t, 0.6, 0.5, sec)
+	plain := Hydra(in, HydraOptions{})
+	ex := ExplainHydra(in)
+	if !ex.Result.Schedulable || !plain.Schedulable {
+		t.Fatalf("feasibility mismatch: %v vs %v", ex.Result.Schedulable, plain.Schedulable)
+	}
+	for i := range sec {
+		if plain.Assignment[i] != ex.Result.Assignment[i] || plain.Periods[i] != ex.Result.Periods[i] {
+			t.Fatalf("task %d: explained run diverged from plain run", i)
+		}
+	}
+	if len(ex.Decisions) != len(sec) {
+		t.Fatalf("decisions = %d", len(ex.Decisions))
+	}
+	for _, d := range ex.Decisions {
+		if len(d.Candidates) != in.M {
+			t.Fatalf("decision %s evaluated %d cores", d.TaskName, len(d.Candidates))
+		}
+		if d.Chosen < 0 {
+			t.Fatalf("decision %s unexpectedly infeasible", d.TaskName)
+		}
+		// The chosen candidate is the feasible one with max tightness.
+		best := -1.0
+		for _, c := range d.Candidates {
+			if c.Feasible && c.Tightness > best {
+				best = c.Tightness
+			}
+		}
+		var chosenTight float64
+		for _, c := range d.Candidates {
+			if c.Core == d.Chosen {
+				chosenTight = c.Tightness
+			}
+		}
+		if chosenTight != best {
+			t.Fatalf("decision %s chose tightness %v, best was %v", d.TaskName, chosenTight, best)
+		}
+	}
+}
+
+func TestExplainHydraInfeasibleHints(t *testing.T) {
+	sec := []rts.SecurityTask{{Name: "s", C: 10, TDes: 50, TMax: 100}}
+	in := twoCoreInput(t, 0.9, 0.9, sec)
+	ex := ExplainHydra(in)
+	if ex.Result.Schedulable {
+		t.Fatal("expected infeasible")
+	}
+	d := ex.Decisions[len(ex.Decisions)-1]
+	if d.Chosen != -1 {
+		t.Fatalf("failing decision should have Chosen=-1: %+v", d)
+	}
+	c, p, ok := d.ClosestCore()
+	if !ok {
+		t.Fatal("ClosestCore must report for infeasible decision")
+	}
+	if c != 0 && c != 1 {
+		t.Fatalf("closest core = %d", c)
+	}
+	// Min period with C=10, SumC=90, SumU=0.9: 100/0.1 = 1000.
+	if math.Abs(p-1000) > 1e-6 {
+		t.Fatalf("closest min period = %v, want 1000", p)
+	}
+	var sb strings.Builder
+	if err := ex.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "infeasible everywhere") || !strings.Contains(out, "hint:") {
+		t.Fatalf("report missing hint:\n%s", out)
+	}
+}
+
+func TestExplainHydraInvalidInput(t *testing.T) {
+	ex := ExplainHydra(&Input{M: 0})
+	if ex.Result.Schedulable {
+		t.Fatal("invalid input must fail")
+	}
+}
+
+func TestClosestCoreOnFeasible(t *testing.T) {
+	d := Decision{Chosen: 1}
+	if _, _, ok := d.ClosestCore(); ok {
+		t.Fatal("feasible decision has no closest-core hint")
+	}
+}
+
+func TestExplainWriteTextFeasible(t *testing.T) {
+	sec := []rts.SecurityTask{{Name: "s", C: 10, TDes: 100, TMax: 5000}}
+	in := twoCoreInput(t, 0.3, 0.7, sec)
+	ex := ExplainHydra(in)
+	var sb strings.Builder
+	if err := ex.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "* core") || !strings.Contains(out, "cumulative tightness") {
+		t.Fatalf("report incomplete:\n%s", out)
+	}
+}

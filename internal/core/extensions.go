@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"hydra/internal/rts"
+)
+
+// ExtOptions configures HydraExt, which implements the extensions sketched
+// in the paper's Discussion (Sec. V) on top of Algorithm 1.
+type ExtOptions struct {
+	HydraOptions
+
+	// NonPreemptiveSecurity makes every security task execute its jobs
+	// non-preemptively *within the security band* (real-time tasks still
+	// preempt, so the real-time schedule is never perturbed). Analytically
+	// each security task then suffers a blocking term equal to the largest
+	// WCET among lower-priority security tasks, added to Eq. (6):
+	//
+	//	Cs + B_s + I_s <= Ts,  B_s = max_{l in lpS(s)} C_l.
+	//
+	// The blocking bound is core-agnostic (any lower-priority task might
+	// later land on the same core), hence conservative but safe.
+	NonPreemptiveSecurity bool
+
+	// Chains lists precedence chains by Input.Sec index: within a chain,
+	// earlier tasks are predecessors (e.g. Tripwire must verify its own
+	// binary before checking system binaries). HydraExt enforces, for each
+	// consecutive pair (p, s):
+	//
+	//	1. p is allocated before s and has higher effective priority;
+	//	2. s is placed on the same core as p (so the priority relation
+	//	   serializes every p-job before the next s-job);
+	//	3. Ts >= Tp (s cannot usefully run more often than its predecessor).
+	//
+	// A task may appear in at most one chain.
+	Chains [][]int
+}
+
+// HydraExt runs HYDRA with the Sec. V extensions. With the zero ExtOptions
+// it behaves exactly like Hydra.
+func HydraExt(in *Input, opt ExtOptions) *Result {
+	if err := in.Validate(); err != nil {
+		return newInfeasible("hydra-ext", err.Error())
+	}
+	order, chainPred, err := extOrder(in, opt.Chains)
+	if err != nil {
+		return newInfeasible("hydra-ext", err.Error())
+	}
+
+	// Blocking terms: for each task (by priority rank), the largest WCET of
+	// any task processed after it. Computed over the processing order.
+	blocking := make([]rts.Time, len(in.Sec))
+	if opt.NonPreemptiveSecurity {
+		var maxC rts.Time
+		for k := len(order) - 1; k >= 0; k-- {
+			blocking[order[k]] = maxC
+			if c := in.Sec[order[k]].C; c > maxC {
+				maxC = c
+			}
+		}
+	}
+
+	loads := in.RTLoads()
+	assign := make([]int, len(in.Sec))
+	periods := make([]rts.Time, len(in.Sec))
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	for _, i := range order {
+		s := in.Sec[i]
+		// Blocking enters the analysis exactly like extra execution demand.
+		s.C += blocking[i]
+		minPeriod := s.TDes
+		cores := allCores(in.M)
+		if p := chainPred[i]; p >= 0 {
+			if assign[p] < 0 {
+				return newInfeasible("hydra-ext", fmt.Sprintf("internal: predecessor of %q not yet allocated", s.Name))
+			}
+			cores = []int{assign[p]}
+			if periods[p] > minPeriod {
+				minPeriod = periods[p]
+			}
+		}
+		if minPeriod > s.TMax {
+			return newInfeasible("hydra-ext",
+				fmt.Sprintf("task %q: chain-inherited period %g exceeds TMax %g", s.Name, minPeriod, s.TMax))
+		}
+		adjusted := s
+		adjusted.TDes = minPeriod
+
+		bestCore, bestPeriod, bestScore := -1, rts.Time(0), -1.0
+		for _, c := range cores {
+			ts, ok := PeriodAdaptation(adjusted, loads[c])
+			if !ok {
+				continue
+			}
+			// Score by tightness against the *original* desired period.
+			score := in.Sec[i].Tightness(ts)
+			switch opt.Policy {
+			case BestTightness:
+			case FirstFeasible:
+				score = float64(in.M - c)
+			case LeastLoaded:
+				score = 1 - loads[c].SumU
+			default:
+				return newInfeasible("hydra-ext", fmt.Sprintf("unknown policy %v", opt.Policy))
+			}
+			if score > bestScore {
+				bestScore, bestCore, bestPeriod = score, c, ts
+			}
+		}
+		if bestCore < 0 {
+			return newInfeasible("hydra-ext", fmt.Sprintf("no feasible core for security task %q", in.Sec[i].Name))
+		}
+		assign[i] = bestCore
+		periods[i] = bestPeriod
+		// Commit the inflated demand (WCET + blocking is pessimistic for
+		// interference on later tasks but keeps the analysis one-sided).
+		loads[bestCore].AddPeriodic(s.C, bestPeriod)
+	}
+	r := finalize(in, "hydra-ext", assign, periods)
+	return r
+}
+
+// extOrder derives the processing order: the usual priority order (ascending
+// TMax) stably adjusted so every chain predecessor precedes its successors.
+// It returns the order plus, per task, its direct chain predecessor (-1 for
+// none).
+func extOrder(in *Input, chains [][]int) ([]int, []int, error) {
+	chainPred := make([]int, len(in.Sec))
+	for i := range chainPred {
+		chainPred[i] = -1
+	}
+	for ci, chain := range chains {
+		for k, idx := range chain {
+			if idx < 0 || idx >= len(in.Sec) {
+				return nil, nil, fmt.Errorf("core: chain %d references unknown security task %d", ci, idx)
+			}
+			if k == 0 {
+				continue
+			}
+			pred := chain[k-1]
+			if idx == pred {
+				return nil, nil, fmt.Errorf("core: chain %d has task %d preceding itself", ci, idx)
+			}
+			// Tree-shaped precedence is allowed (one task may head several
+			// chains), but each task has at most one predecessor.
+			if chainPred[idx] >= 0 && chainPred[idx] != pred {
+				return nil, nil, fmt.Errorf("core: security task %d has two different predecessors (%d and %d)", idx, chainPred[idx], pred)
+			}
+			chainPred[idx] = pred
+		}
+	}
+
+	base := in.secOrder()
+	// Kahn-style stable topological sort over the chain edges, scanning the
+	// base priority order repeatedly; chains are short so this stays cheap.
+	placed := make([]bool, len(in.Sec))
+	var order []int
+	for len(order) < len(base) {
+		progressed := false
+		for _, i := range base {
+			if placed[i] {
+				continue
+			}
+			if p := chainPred[i]; p >= 0 && !placed[p] {
+				continue
+			}
+			placed[i] = true
+			order = append(order, i)
+			progressed = true
+		}
+		if !progressed {
+			return nil, nil, fmt.Errorf("core: precedence chains contain a cycle")
+		}
+	}
+	return order, chainPred, nil
+}
+
+// allCores returns [0, 1, ..., m-1].
+func allCores(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"hydra/internal/rts"
+)
+
+func TestHydraExtMatchesHydraWithoutExtensions(t *testing.T) {
+	sec := []rts.SecurityTask{
+		{Name: "a", C: 10, TDes: 100, TMax: 2000},
+		{Name: "b", C: 15, TDes: 150, TMax: 3000},
+		{Name: "c", C: 20, TDes: 200, TMax: 4000},
+	}
+	in := twoCoreInput(t, 0.6, 0.5, sec)
+	plain := Hydra(in, HydraOptions{})
+	ext := HydraExt(in, ExtOptions{})
+	if plain.Schedulable != ext.Schedulable {
+		t.Fatalf("feasibility mismatch")
+	}
+	for i := range sec {
+		if plain.Assignment[i] != ext.Assignment[i] || plain.Periods[i] != ext.Periods[i] {
+			t.Fatalf("task %d: plain (%d, %v) vs ext (%d, %v)", i,
+				plain.Assignment[i], plain.Periods[i], ext.Assignment[i], ext.Periods[i])
+		}
+	}
+}
+
+func TestHydraExtNonPreemptiveBlocking(t *testing.T) {
+	// Two tasks; the higher-priority one must absorb the lower one's WCET as
+	// blocking, stretching its minimum feasible period.
+	sec := []rts.SecurityTask{
+		{Name: "high", C: 10, TDes: 50, TMax: 5000}, // TMax smaller: higher prio
+		{Name: "low", C: 40, TDes: 100, TMax: 9000},
+	}
+	in := twoCoreInput(t, 0.8, 0.8, sec)
+	plain := Hydra(in, HydraOptions{})
+	np := HydraExt(in, ExtOptions{NonPreemptiveSecurity: true})
+	if !plain.Schedulable || !np.Schedulable {
+		t.Fatalf("both must be schedulable: %v %v", plain.Reason, np.Reason)
+	}
+	// high's min period plain: (10+80)/0.2 = 450.
+	// With blocking B = C_low = 40: (10+40+80)/0.2 = 650.
+	if !near(plain.Periods[0], 450, 1e-9) {
+		t.Fatalf("plain high period = %v", plain.Periods[0])
+	}
+	if !near(np.Periods[0], 650, 1e-9) {
+		t.Fatalf("non-preemptive high period = %v, want 650", np.Periods[0])
+	}
+	// The lowest-priority task suffers no blocking.
+	if np.Periods[1] < plain.Periods[1] {
+		t.Fatalf("low-priority period should not shrink: %v vs %v", np.Periods[1], plain.Periods[1])
+	}
+}
+
+func TestHydraExtChainSameCoreAndPeriodOrder(t *testing.T) {
+	sec := []rts.SecurityTask{
+		{Name: "self-check", C: 10, TDes: 100, TMax: 1000},
+		{Name: "bin-check", C: 10, TDes: 50, TMax: 5000}, // wants to run faster than its predecessor
+	}
+	in := twoCoreInput(t, 0.5, 0.1, sec)
+	res := HydraExt(in, ExtOptions{Chains: [][]int{{0, 1}}})
+	if !res.Schedulable {
+		t.Fatalf("unschedulable: %s", res.Reason)
+	}
+	if res.Assignment[0] != res.Assignment[1] {
+		t.Fatalf("chain must share a core: %v", res.Assignment)
+	}
+	if res.Periods[1] < res.Periods[0]-1e-9 {
+		t.Fatalf("successor period %v < predecessor %v", res.Periods[1], res.Periods[0])
+	}
+}
+
+func TestHydraExtChainInfeasiblePeriodInheritance(t *testing.T) {
+	// Successor's TMax is below any period the predecessor can achieve.
+	sec := []rts.SecurityTask{
+		{Name: "pred", C: 10, TDes: 1000, TMax: 10000},
+		{Name: "succ", C: 5, TDes: 50, TMax: 500}, // TMax 500 < pred period 1000
+	}
+	in := twoCoreInput(t, 0.1, 0.1, sec)
+	res := HydraExt(in, ExtOptions{Chains: [][]int{{0, 1}}})
+	if res.Schedulable {
+		t.Fatal("chain period inheritance should make this infeasible")
+	}
+}
+
+func TestHydraExtChainValidation(t *testing.T) {
+	sec := []rts.SecurityTask{
+		{Name: "a", C: 10, TDes: 100, TMax: 1000},
+		{Name: "b", C: 10, TDes: 100, TMax: 2000},
+	}
+	in := twoCoreInput(t, 0.1, 0.1, sec)
+	if r := HydraExt(in, ExtOptions{Chains: [][]int{{0, 5}}}); r.Schedulable {
+		t.Fatal("out-of-range chain index must fail")
+	}
+	if r := HydraExt(in, ExtOptions{Chains: [][]int{{0, 0}}}); r.Schedulable {
+		t.Fatal("self-precedence must fail")
+	}
+	// Tree-shaped precedence (shared predecessor) is allowed.
+	if r := HydraExt(in, ExtOptions{Chains: [][]int{{0, 1}, {0, 1}}}); !r.Schedulable {
+		t.Fatalf("duplicate consistent chain must be accepted: %s", r.Reason)
+	}
+	// Two *different* predecessors for one task are rejected.
+	sec3 := append(append([]rts.SecurityTask(nil), sec...),
+		rts.SecurityTask{Name: "c", C: 10, TDes: 100, TMax: 3000})
+	in3 := twoCoreInput(t, 0.1, 0.1, sec3)
+	if r := HydraExt(in3, ExtOptions{Chains: [][]int{{0, 2}, {1, 2}}}); r.Schedulable {
+		t.Fatal("two different predecessors must fail")
+	}
+}
+
+func TestHydraExtOrderRespectsChains(t *testing.T) {
+	// Chain successor has *smaller* TMax (would normally be processed first);
+	// the topological adjustment must still put the predecessor first.
+	sec := []rts.SecurityTask{
+		{Name: "pred", C: 10, TDes: 100, TMax: 5000},
+		{Name: "succ", C: 10, TDes: 100, TMax: 1000},
+	}
+	in := twoCoreInput(t, 0.1, 0.1, sec)
+	order, chainPred, err := extOrder(in, [][]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v, want [0 1]", order)
+	}
+	if chainPred[1] != 0 || chainPred[0] != -1 {
+		t.Fatalf("chainPred = %v", chainPred)
+	}
+	res := HydraExt(in, ExtOptions{Chains: [][]int{{0, 1}}})
+	if !res.Schedulable {
+		t.Fatalf("unschedulable: %s", res.Reason)
+	}
+}
+
+func TestHydraExtPolicies(t *testing.T) {
+	sec := []rts.SecurityTask{{Name: "s", C: 10, TDes: 50, TMax: 5000}}
+	in := twoCoreInput(t, 0.8, 0.1, sec)
+	ll := HydraExt(in, ExtOptions{HydraOptions: HydraOptions{Policy: LeastLoaded}})
+	if !ll.Schedulable || ll.Assignment[0] != 1 {
+		t.Fatalf("least-loaded ext: %+v", ll)
+	}
+	bad := HydraExt(in, ExtOptions{HydraOptions: HydraOptions{Policy: Policy(99)}})
+	if bad.Schedulable {
+		t.Fatal("unknown policy must fail")
+	}
+}
+
+func TestHydraExtInvalidInput(t *testing.T) {
+	in := &Input{M: 0}
+	if r := HydraExt(in, ExtOptions{}); r.Schedulable {
+		t.Fatal("invalid input must fail")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"hydra/internal/rts"
+)
+
+// Policy selects the core-commitment rule HYDRA applies per security task.
+// The paper's Algorithm 1 uses BestTightness; the others exist for the
+// design-space ablations in the evaluation harness.
+type Policy int
+
+const (
+	// BestTightness commits to the feasible core with maximum achievable
+	// tightness (Algorithm 1, line 11). Ties break to the lowest core index.
+	BestTightness Policy = iota
+	// FirstFeasible commits to the lowest-indexed feasible core.
+	FirstFeasible
+	// LeastLoaded commits to the feasible core with the smallest current
+	// total utilization (real-time plus committed security).
+	LeastLoaded
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case BestTightness:
+		return "best-tightness"
+	case FirstFeasible:
+		return "first-feasible"
+	case LeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// HydraOptions tunes the HYDRA allocator. The zero value reproduces the
+// paper's Algorithm 1 exactly.
+type HydraOptions struct {
+	Policy Policy
+	// UseGP solves each per-core period-adaptation subproblem with the
+	// geometric-programming solver (the paper's implementation route)
+	// instead of the equivalent closed form. Results agree to solver
+	// tolerance; the flag exists for fidelity checks and ablations.
+	UseGP bool
+}
+
+// Hydra runs Algorithm 1: process security tasks from highest to lowest
+// priority; for each, solve the period-adaptation problem of Eq. (7) on
+// every core, and commit the task (with its adapted period) to the core
+// chosen by the policy. It returns an unschedulable Result when some task
+// has no feasible core (line 9).
+func Hydra(in *Input, opt HydraOptions) *Result {
+	if err := in.Validate(); err != nil {
+		return newInfeasible("hydra", err.Error())
+	}
+	loads := in.RTLoads() // mutated as security tasks are committed
+	assign := make([]int, len(in.Sec))
+	periods := make([]rts.Time, len(in.Sec))
+
+	adapt := PeriodAdaptation
+	if opt.UseGP {
+		adapt = PeriodAdaptationGP
+	}
+
+	for _, i := range in.secOrder() {
+		s := in.Sec[i]
+		bestCore := -1
+		var bestPeriod rts.Time
+		bestScore := -1.0
+		for c := 0; c < in.M; c++ {
+			ts, ok := adapt(s, loads[c])
+			if !ok {
+				continue
+			}
+			var score float64
+			switch opt.Policy {
+			case BestTightness:
+				score = s.Tightness(ts)
+			case FirstFeasible:
+				score = float64(in.M - c) // first feasible wins
+			case LeastLoaded:
+				score = 1 - loads[c].SumU // emptier core wins
+			default:
+				return newInfeasible("hydra", fmt.Sprintf("unknown policy %v", opt.Policy))
+			}
+			if score > bestScore {
+				bestScore, bestCore, bestPeriod = score, c, ts
+			}
+			if opt.Policy == FirstFeasible {
+				break
+			}
+		}
+		if bestCore < 0 {
+			return newInfeasible("hydra",
+				fmt.Sprintf("no feasible core for security task %q (C=%g, TDes=%g, TMax=%g)", s.Name, s.C, s.TDes, s.TMax))
+		}
+		assign[i] = bestCore
+		periods[i] = bestPeriod
+		loads[bestCore].AddPeriodic(s.C, bestPeriod)
+	}
+	return finalize(in, "hydra", assign, periods)
+}

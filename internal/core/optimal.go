@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/rts"
+)
+
+// OptimalOptions tunes the exhaustive baseline.
+type OptimalOptions struct {
+	// RefineJointGP additionally solves each per-core period vector with the
+	// signomial (sequential-GP) maximizer of the cumulative tightness,
+	// matching the paper's "convex optimization per assignment" description
+	// (Sec. IV-B.2). When false only the greedy priority-order periods are
+	// used, which is already optimal per task but can sacrifice weighted
+	// cumulative tightness on loaded cores.
+	RefineJointGP bool
+	// MaxAssignments caps the enumeration (M^NS grows fast); 0 means no cap.
+	// When the cap is exceeded the search returns an unschedulable result
+	// with an explanatory reason rather than silently truncating.
+	MaxAssignments int
+}
+
+// Optimal enumerates every assignment of security tasks to cores (M^NS
+// combinations) and, for each, optimizes the per-core period vectors; it
+// returns the assignment maximizing the cumulative weighted tightness of
+// Eq. (3). This is the paper's "optimal" comparison baseline (Fig. 3) and is
+// exponential — intended for small instances (the paper uses M=2, NS <= 6).
+func Optimal(in *Input, opt OptimalOptions) *Result {
+	if err := in.Validate(); err != nil {
+		return newInfeasible("opt", err.Error())
+	}
+	ns := len(in.Sec)
+	if ns == 0 {
+		return finalize(in, "opt", []int{}, []rts.Time{})
+	}
+	total := math.Pow(float64(in.M), float64(ns))
+	if opt.MaxAssignments > 0 && total > float64(opt.MaxAssignments) {
+		return newInfeasible("opt",
+			fmt.Sprintf("search space %.0f exceeds cap %d", total, opt.MaxAssignments))
+	}
+
+	order := in.secOrder()
+	rtLoads := in.RTLoads()
+
+	best := (*Result)(nil)
+	assign := make([]int, ns) // per-priority-rank core choice
+	var walk func(rank int)
+	walk = func(rank int) {
+		if rank == ns {
+			r := evalAssignment(in, order, assign, rtLoads, opt.RefineJointGP)
+			if r != nil && (best == nil || r.Cumulative > best.Cumulative) {
+				best = r
+			}
+			return
+		}
+		for c := 0; c < in.M; c++ {
+			assign[rank] = c
+			walk(rank + 1)
+		}
+	}
+	walk(0)
+	if best == nil {
+		return newInfeasible("opt", "no assignment of security tasks to cores is schedulable")
+	}
+	return best
+}
+
+// evalAssignment scores one complete assignment: tasks are grouped per core
+// in priority order and each core's period vector is optimized
+// independently (cores do not couple in Eq. 5). It returns nil when any core
+// is infeasible.
+func evalAssignment(in *Input, order, assign []int, rtLoads []rts.CoreLoad, refine bool) *Result {
+	perCore := make([][]coreTask, in.M)
+	for rank, i := range order {
+		c := assign[rank]
+		perCore[c] = append(perCore[c], coreTask{task: in.Sec[i], idx: i})
+	}
+	resAssign := make([]int, len(in.Sec))
+	resPeriods := make([]rts.Time, len(in.Sec))
+	for c := 0; c < in.M; c++ {
+		if len(perCore[c]) == 0 {
+			continue
+		}
+		var periods []rts.Time
+		var ok bool
+		if refine {
+			periods, ok = jointCorePeriods(perCore[c], rtLoads[c])
+		} else {
+			periods, ok = greedyCorePeriods(perCore[c], rtLoads[c])
+		}
+		if !ok {
+			return nil
+		}
+		for k, ct := range perCore[c] {
+			resAssign[ct.idx] = c
+			resPeriods[ct.idx] = periods[k]
+		}
+	}
+	return finalize(in, "opt", resAssign, resPeriods)
+}
+
+// TightnessGap returns the paper's Fig. 3 metric
+//
+//	(eta_OPT - eta_HYDRA) / eta_OPT * 100%
+//
+// for two schedulable results, and false when either is unschedulable or the
+// optimal cumulative tightness is zero.
+func TightnessGap(opt, hydra *Result) (float64, bool) {
+	if opt == nil || hydra == nil || !opt.Schedulable || !hydra.Schedulable || opt.Cumulative <= 0 {
+		return 0, false
+	}
+	gap := (opt.Cumulative - hydra.Cumulative) / opt.Cumulative * 100
+	if gap < 0 {
+		gap = 0 // HYDRA can exceed the greedy-period OPT only by rounding
+	}
+	return gap, true
+}

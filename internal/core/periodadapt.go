@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+
+	"hydra/internal/gp"
+	"hydra/internal/rts"
+)
+
+// PeriodAdaptation solves Eq. (7) for one security task on one candidate
+// core: maximize eta = TDes/Ts subject to TDes <= Ts <= TMax and the Eq. (6)
+// schedulability constraint Cs + I(Ts) <= Ts, where the interfering load
+// (real-time tasks plus committed higher-priority security tasks) is
+// summarized by the Eq. (5) aggregates in load.
+//
+// With the linear interference bound, the smallest schedulable period is
+// (Cs + SumC)/(1 - SumU), so the optimum has the closed form
+//
+//	Ts* = max(TDes, (Cs + SumC)/(1 - SumU)),
+//
+// feasible iff SumU < 1 and Ts* <= TMax.
+func PeriodAdaptation(s rts.SecurityTask, load rts.CoreLoad) (rts.Time, bool) {
+	minT := load.MinFeasiblePeriod(s.C)
+	ts := math.Max(s.TDes, minT)
+	if ts > s.TMax || math.IsInf(ts, 1) {
+		return 0, false
+	}
+	return ts, true
+}
+
+// PeriodAdaptationGP solves the same problem with the geometric-programming
+// route of the paper's Appendix: minimize Ts subject to the posynomial
+// constraint (Cs + SumC)*Ts^-1 + SumU <= 1 and the period bounds. It exists
+// to mirror the authors' GPkit/CVXOPT pipeline and to cross-validate the
+// closed form; both must agree to solver tolerance.
+func PeriodAdaptationGP(s rts.SecurityTask, load rts.CoreLoad) (rts.Time, bool) {
+	m := gp.NewModel()
+	ts := m.AddBoundedVar("Ts", s.TDes, s.TMax)
+	m.Minimize(gp.Posy(gp.X(ts)))
+	lhs := gp.Posy(gp.Mon(s.C+load.SumC).MulVar(ts, -1))
+	if load.SumU > 0 {
+		lhs = lhs.AddMon(gp.Mon(load.SumU))
+	}
+	m.AddConstraint(lhs, "eq6")
+	sol, err := m.Solve(nil)
+	if err != nil || sol.Status != gp.StatusOptimal {
+		return 0, false
+	}
+	return sol.X[ts.Index()], true
+}
+
+// coreTask is a security task pinned to one core, in priority order, used by
+// the joint per-core period optimizer.
+type coreTask struct {
+	task rts.SecurityTask
+	idx  int // index into Input.Sec
+}
+
+// greedyCorePeriods assigns each task on a core its minimum feasible period
+// in priority order (the same rule HYDRA applies incrementally). It returns
+// the periods aligned with tasks and reports feasibility.
+func greedyCorePeriods(tasks []coreTask, rtLoad rts.CoreLoad) ([]rts.Time, bool) {
+	periods := make([]rts.Time, len(tasks))
+	load := rtLoad
+	for i, ct := range tasks {
+		ts, ok := PeriodAdaptation(ct.task, load)
+		if !ok {
+			return nil, false
+		}
+		periods[i] = ts
+		load.AddPeriodic(ct.task.C, ts)
+	}
+	return periods, true
+}
+
+// jointCorePeriods maximizes the weighted cumulative tightness
+// sum_s w_s*TDes_s/Ts over all tasks on one core simultaneously — the
+// signomial program behind the paper's "optimal" baseline. Constraint for
+// the k-th task (priority order):
+//
+//	(C_k + SumC_RT + sum_{h<k} C_h) * T_k^-1 + SumU_RT + sum_{h<k} C_h*T_h^-1 <= 1.
+//
+// It is seeded by the greedy solution and never returns a worse objective;
+// the greedy periods are returned when the GP refinement cannot improve.
+func jointCorePeriods(tasks []coreTask, rtLoad rts.CoreLoad) ([]rts.Time, bool) {
+	greedy, ok := greedyCorePeriods(tasks, rtLoad)
+	if !ok {
+		return nil, false
+	}
+	if len(tasks) <= 1 {
+		return greedy, true // single variable: greedy is exactly optimal
+	}
+
+	m := gp.NewModel()
+	vars := make([]gp.Var, len(tasks))
+	for i, ct := range tasks {
+		vars[i] = m.AddBoundedVar(ct.task.Name, ct.task.TDes, ct.task.TMax)
+	}
+	var sumCHigh rts.Time
+	for k, ct := range tasks {
+		lhs := gp.Posy(gp.Mon(ct.task.C+rtLoad.SumC+sumCHigh).MulVar(vars[k], -1))
+		if rtLoad.SumU > 0 {
+			lhs = lhs.AddMon(gp.Mon(rtLoad.SumU))
+		}
+		for h := 0; h < k; h++ {
+			lhs = lhs.AddMon(gp.Mon(tasks[h].task.C).MulVar(vars[h], -1))
+		}
+		m.AddConstraint(lhs, "eq6:"+ct.task.Name)
+		sumCHigh += ct.task.C
+	}
+	obj := gp.Posynomial{}
+	for k, ct := range tasks {
+		obj = obj.AddMon(gp.Mon(ct.task.EffectiveWeight()*ct.task.TDes).MulVar(vars[k], -1))
+	}
+	sol, err := m.MaximizePosynomial(obj, nil)
+	if err != nil || sol.Status != gp.StatusOptimal {
+		return greedy, true
+	}
+
+	refined := make([]rts.Time, len(tasks))
+	for k := range tasks {
+		refined[k] = sol.X[vars[k].Index()]
+	}
+	if cumTightness(tasks, refined) > cumTightness(tasks, greedy) && periodsFeasible(tasks, refined, rtLoad) {
+		return refined, true
+	}
+	return greedy, true
+}
+
+// cumTightness evaluates sum w*TDes/T for tasks on one core.
+func cumTightness(tasks []coreTask, periods []rts.Time) float64 {
+	var s float64
+	for k, ct := range tasks {
+		s += ct.task.EffectiveWeight() * ct.task.Tightness(periods[k])
+	}
+	return s
+}
+
+// periodsFeasible re-checks Eq. (6) exactly for a candidate period vector.
+func periodsFeasible(tasks []coreTask, periods []rts.Time, rtLoad rts.CoreLoad) bool {
+	load := rtLoad
+	for k, ct := range tasks {
+		ts := periods[k]
+		if ts < ct.task.TDes*(1-1e-9) || ts > ct.task.TMax*(1+1e-9) {
+			return false
+		}
+		if ct.task.C+load.LinearInterference(ts) > ts*(1+1e-9) {
+			return false
+		}
+		load.AddPeriodic(ct.task.C, ts)
+	}
+	return true
+}

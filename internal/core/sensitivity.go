@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/rts"
+)
+
+// The paper notes that an unschedulability verdict "will provide hints to
+// the designers to update the parameters of security tasks" (Sec. III-B).
+// This file turns that remark into tooling: breakdown analysis (how much
+// security load the platform can absorb) and minimal-relaxation suggestions
+// (how much the security requirements must be loosened to become feasible).
+
+// BreakdownSecurityScale returns the largest factor k (within tol) such
+// that multiplying every security WCET by k keeps HYDRA schedulable, plus
+// the schedulability at k itself. A value > 1 measures headroom; < 1 means
+// the given workload is already infeasible and must shrink. The search
+// covers [0, maxScale] by bisection.
+func BreakdownSecurityScale(in *Input, opt HydraOptions, maxScale, tol float64) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if maxScale <= 0 {
+		maxScale = 16
+	}
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	feasible := func(k float64) bool {
+		scaled := make([]rts.SecurityTask, len(in.Sec))
+		for i, s := range in.Sec {
+			scaled[i] = s
+			scaled[i].C = s.C * k
+			if scaled[i].C > scaled[i].TDes {
+				return false // would violate C <= TDes validity
+			}
+		}
+		trial := &Input{M: in.M, RT: in.RT, RTPartition: in.RTPartition, Sec: scaled}
+		return Hydra(trial, opt).Schedulable
+	}
+	if !feasible(0 + tol) {
+		return 0, nil // even near-zero security load fails (RT side broken)
+	}
+	lo, hi := tol, maxScale
+	if feasible(hi) {
+		return hi, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// Relaxation is a suggested parameter change that restores schedulability.
+type Relaxation struct {
+	// TMaxFactor is the uniform multiplier applied to every security task's
+	// TMax (monitoring-effectiveness horizon) that makes HYDRA succeed.
+	TMaxFactor float64
+	// Result is the allocation obtained after applying the relaxation.
+	Result *Result
+}
+
+// SuggestTMaxRelaxation searches for the smallest uniform TMax multiplier in
+// [1, maxFactor] under which HYDRA schedules the workload, mirroring the
+// designer guidance the paper describes. It returns ok = false when even
+// maxFactor does not help (the bottleneck is not the period range).
+func SuggestTMaxRelaxation(in *Input, opt HydraOptions, maxFactor, tol float64) (Relaxation, bool, error) {
+	if err := in.Validate(); err != nil {
+		return Relaxation{}, false, err
+	}
+	if maxFactor < 1 {
+		maxFactor = 16
+	}
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	attempt := func(f float64) *Result {
+		scaled := make([]rts.SecurityTask, len(in.Sec))
+		for i, s := range in.Sec {
+			scaled[i] = s
+			scaled[i].TMax = s.TMax * f
+		}
+		trial := &Input{M: in.M, RT: in.RT, RTPartition: in.RTPartition, Sec: scaled}
+		return Hydra(trial, opt)
+	}
+	if r := attempt(1); r.Schedulable {
+		return Relaxation{TMaxFactor: 1, Result: r}, true, nil
+	}
+	if r := attempt(maxFactor); !r.Schedulable {
+		return Relaxation{}, false, nil
+	}
+	lo, hi := 1.0, maxFactor
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if attempt(mid).Schedulable {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	r := attempt(hi)
+	if !r.Schedulable {
+		return Relaxation{}, false, fmt.Errorf("core: bisection landed on an infeasible factor %g", hi)
+	}
+	return Relaxation{TMaxFactor: hi, Result: r}, true, nil
+}
+
+// SecuritySlack reports, per core, the utilization left for security work
+// after the real-time tasks and an existing allocation are accounted for:
+// 1 - SumU(core). Designers use it to see where additional monitors fit.
+func SecuritySlack(in *Input, r *Result) ([]float64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	loads := in.RTLoads()
+	if r != nil && r.Schedulable {
+		for i := range in.Sec {
+			c := r.Assignment[i]
+			if c < 0 || c >= in.M {
+				return nil, fmt.Errorf("core: task %d on invalid core %d", i, c)
+			}
+			loads[c].AddPeriodic(in.Sec[i].C, r.Periods[i])
+		}
+	}
+	out := make([]float64, in.M)
+	for c := range out {
+		out[c] = math.Max(0, 1-loads[c].SumU)
+	}
+	return out, nil
+}

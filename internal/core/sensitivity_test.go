@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"hydra/internal/rts"
+)
+
+func TestBreakdownSecurityScale(t *testing.T) {
+	sec := []rts.SecurityTask{{Name: "s", C: 10, TDes: 1000, TMax: 10000}}
+	in := twoCoreInput(t, 0.5, 0.5, sec)
+	k, err := BreakdownSecurityScale(in, HydraOptions{}, 64, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The task fits easily at k=1; headroom must be substantially above 1.
+	if k <= 1 {
+		t.Fatalf("breakdown scale %v should exceed 1", k)
+	}
+	// At the breakdown point, scaling by k must be feasible but 2k must not
+	// (unless capped by the C <= TDes validity bound).
+	scaled := sec[0]
+	scaled.C = sec[0].C * k
+	trial := &Input{M: in.M, RT: in.RT, RTPartition: in.RTPartition, Sec: []rts.SecurityTask{scaled}}
+	if !Hydra(trial, HydraOptions{}).Schedulable {
+		t.Fatalf("scale %v reported feasible but is not", k)
+	}
+}
+
+func TestBreakdownSecurityScaleZeroWhenRTBroken(t *testing.T) {
+	// Saturated cores: even epsilon security load fails.
+	sec := []rts.SecurityTask{{Name: "s", C: 10, TDes: 50, TMax: 60}}
+	in := twoCoreInput(t, 0.99, 0.99, sec)
+	k, err := BreakdownSecurityScale(in, HydraOptions{}, 16, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Fatalf("breakdown scale = %v, want 0", k)
+	}
+}
+
+func TestBreakdownValidatesInput(t *testing.T) {
+	if _, err := BreakdownSecurityScale(&Input{M: 0}, HydraOptions{}, 0, 0); err == nil {
+		t.Fatal("invalid input must error")
+	}
+}
+
+func TestSuggestTMaxRelaxation(t *testing.T) {
+	// TMax is just too tight: min feasible period is 450 but TMax = 400.
+	sec := []rts.SecurityTask{{Name: "s", C: 10, TDes: 50, TMax: 400}}
+	in := twoCoreInput(t, 0.8, 0.8, sec)
+	if Hydra(in, HydraOptions{}).Schedulable {
+		t.Fatal("test premise: base workload must be infeasible")
+	}
+	rel, ok, err := SuggestTMaxRelaxation(in, HydraOptions{}, 16, 1e-4)
+	if err != nil || !ok {
+		t.Fatalf("relaxation failed: ok=%v err=%v", ok, err)
+	}
+	// Needed factor: 450/400 = 1.125.
+	if rel.TMaxFactor < 1.12 || rel.TMaxFactor > 1.14 {
+		t.Fatalf("TMax factor = %v, want ~1.125", rel.TMaxFactor)
+	}
+	if !rel.Result.Schedulable {
+		t.Fatal("relaxed result must be schedulable")
+	}
+}
+
+func TestSuggestTMaxRelaxationAlreadyFeasible(t *testing.T) {
+	sec := []rts.SecurityTask{{Name: "s", C: 10, TDes: 1000, TMax: 10000}}
+	in := twoCoreInput(t, 0.3, 0.3, sec)
+	rel, ok, err := SuggestTMaxRelaxation(in, HydraOptions{}, 16, 1e-3)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if rel.TMaxFactor != 1 {
+		t.Fatalf("factor = %v, want 1 (already feasible)", rel.TMaxFactor)
+	}
+}
+
+func TestSuggestTMaxRelaxationHopeless(t *testing.T) {
+	// Cores saturated by RT load: no TMax stretch helps.
+	sec := []rts.SecurityTask{{Name: "s", C: 60, TDes: 100, TMax: 200}}
+	in := twoCoreInput(t, 0.999, 0.999, sec)
+	_, ok, err := SuggestTMaxRelaxation(in, HydraOptions{}, 4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("saturated platform must report no relaxation")
+	}
+}
+
+func TestSecuritySlack(t *testing.T) {
+	sec := []rts.SecurityTask{{Name: "s", C: 10, TDes: 100, TMax: 1000}}
+	in := twoCoreInput(t, 0.4, 0.2, sec)
+	// Without allocation: slack = 1 - RT utilization.
+	slack, err := SecuritySlack(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(slack[0], 0.6, 1e-9) || !near(slack[1], 0.8, 1e-9) {
+		t.Fatalf("slack = %v", slack)
+	}
+	// With allocation: the chosen core loses C/T.
+	r := Hydra(in, HydraOptions{})
+	slack2, err := SecuritySlack(in, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Assignment[0]
+	if slack2[c] >= slack[c] {
+		t.Fatalf("allocated core slack should shrink: %v vs %v", slack2[c], slack[c])
+	}
+	// Invalid allocation rejected.
+	bad := &Result{Schedulable: true, Assignment: []int{9}, Periods: []rts.Time{100}}
+	if _, err := SecuritySlack(in, bad); err == nil {
+		t.Fatal("invalid core index must error")
+	}
+}

@@ -1,0 +1,170 @@
+// Package core implements the paper's contribution: allocation of sporadic
+// security tasks onto a partitioned multicore real-time system with period
+// adaptation — the HYDRA heuristic (Algorithm 1), the SingleCore baseline
+// (dedicated security core), and the OPT exhaustive baseline (enumeration of
+// all M^NS assignments with per-assignment joint period optimization).
+//
+// Security tasks run at priorities strictly below every real-time task
+// ("opportunistic execution"); among themselves they are prioritized by
+// smaller TMax (Sec. II-C). The schedulability constraint is the linear
+// interference bound of Eq. (5)–(6); the quality metric is the cumulative
+// weighted tightness of Eq. (3).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/partition"
+	"hydra/internal/rts"
+)
+
+// Input is a fully specified allocation problem: a platform of M cores, the
+// real-time tasks with their (given, immutable) partition, and the security
+// tasks to place.
+type Input struct {
+	M           int
+	RT          []rts.RTTask
+	RTPartition []int // RTPartition[i] is the core of RT[i]
+	Sec         []rts.SecurityTask
+}
+
+// NewInput bundles and validates an allocation problem.
+func NewInput(m int, rt []rts.RTTask, part []int, sec []rts.SecurityTask) (*Input, error) {
+	in := &Input{M: m, RT: rt, RTPartition: part, Sec: sec}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Validate checks structural consistency of the input.
+func (in *Input) Validate() error {
+	if in.M <= 0 {
+		return fmt.Errorf("core: need at least one core, got %d", in.M)
+	}
+	if len(in.RT) != len(in.RTPartition) {
+		return fmt.Errorf("core: %d real-time tasks but %d partition entries", len(in.RT), len(in.RTPartition))
+	}
+	for i, c := range in.RTPartition {
+		if c < 0 || c >= in.M {
+			return fmt.Errorf("core: RT task %d on invalid core %d of %d", i, c, in.M)
+		}
+	}
+	return rts.ValidateAll(in.RT, in.Sec)
+}
+
+// RTLoads returns the Eq. 5 aggregates of the real-time tasks per core.
+func (in *Input) RTLoads() []rts.CoreLoad {
+	loads := make([]rts.CoreLoad, in.M)
+	for i, c := range in.RTPartition {
+		loads[c].AddRT(in.RT[i])
+	}
+	return loads
+}
+
+// secOrder returns security task indices sorted from highest to lowest
+// priority (ascending TMax, ties by name then index — Sec. II-C).
+func (in *Input) secOrder() []int {
+	order := make([]int, len(in.Sec))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := in.Sec[order[a]], in.Sec[order[b]]
+		if sa.TMax != sb.TMax {
+			return sa.TMax < sb.TMax
+		}
+		if sa.Name != sb.Name {
+			return sa.Name < sb.Name
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// Result is the outcome of an allocation scheme. All slices are indexed by
+// the *input* order of Input.Sec.
+type Result struct {
+	Schedulable bool
+	Scheme      string     // "hydra", "singlecore", "opt", ...
+	Assignment  []int      // core per security task
+	Periods     []rts.Time // adapted period per security task
+	Tightness   []float64  // eta_s = TDes/T per task
+	Cumulative  float64    // sum of weight * eta over all tasks (Eq. 3)
+	Reason      string     // populated when Schedulable is false
+}
+
+// newInfeasible builds an unschedulable result with a diagnostic reason.
+func newInfeasible(scheme, reason string) *Result {
+	return &Result{Schedulable: false, Scheme: scheme, Reason: reason}
+}
+
+// finalize computes tightness metrics from assignment and periods.
+func finalize(in *Input, scheme string, assign []int, periods []rts.Time) *Result {
+	r := &Result{
+		Schedulable: true,
+		Scheme:      scheme,
+		Assignment:  assign,
+		Periods:     periods,
+		Tightness:   make([]float64, len(in.Sec)),
+	}
+	for i, s := range in.Sec {
+		r.Tightness[i] = s.Tightness(periods[i])
+		r.Cumulative += s.EffectiveWeight() * r.Tightness[i]
+	}
+	return r
+}
+
+// Verify checks that a schedulable result satisfies every model constraint:
+// exactly one core per task, periods within [TDes, TMax], and the Eq. (6)
+// schedulability test Cs + I_s <= Ts on every core with the linear
+// interference of Eq. (5) from real-time tasks and higher-priority security
+// tasks. It returns nil for a valid result.
+func Verify(in *Input, r *Result) error {
+	if !r.Schedulable {
+		return fmt.Errorf("core: cannot verify an unschedulable result (%s)", r.Reason)
+	}
+	if len(r.Assignment) != len(in.Sec) || len(r.Periods) != len(in.Sec) {
+		return fmt.Errorf("core: result covers %d/%d tasks, want %d", len(r.Assignment), len(r.Periods), len(in.Sec))
+	}
+	for i, s := range in.Sec {
+		if c := r.Assignment[i]; c < 0 || c >= in.M {
+			return fmt.Errorf("core: task %q on invalid core %d", s.Name, c)
+		}
+		const tol = 1e-6
+		if r.Periods[i] < s.TDes*(1-tol) || r.Periods[i] > s.TMax*(1+tol) {
+			return fmt.Errorf("core: task %q period %g outside [%g, %g]", s.Name, r.Periods[i], s.TDes, s.TMax)
+		}
+	}
+	loads := in.RTLoads()
+	order := in.secOrder()
+	// Walk in priority order, checking each task against the interference of
+	// real-time tasks plus already-walked (higher-priority) security tasks.
+	committed := make([]rts.CoreLoad, in.M)
+	for _, i := range order {
+		s := in.Sec[i]
+		c := r.Assignment[i]
+		load := loads[c]
+		load.SumC += committed[c].SumC
+		load.SumU += committed[c].SumU
+		ts := r.Periods[i]
+		lhs := s.C + load.LinearInterference(ts)
+		if lhs > ts*(1+1e-6) {
+			return fmt.Errorf("core: task %q violates Eq. 6 on core %d: %g > %g", s.Name, c, lhs, ts)
+		}
+		committed[c].AddPeriodic(s.C, ts)
+	}
+	return nil
+}
+
+// PartitionForHydra partitions the real-time tasks across all M cores with
+// the given heuristic — the RT-side preparation step the paper assumes for
+// HYDRA and OPT (Sec. II-A / IV-B).
+func PartitionForHydra(rt []rts.RTTask, m int, h partition.Heuristic) ([]int, error) {
+	p, err := partition.PartitionRT(rt, m, h)
+	if err != nil {
+		return nil, err
+	}
+	return p.CoreOf, nil
+}

@@ -1,0 +1,183 @@
+// Package detect implements the intrusion-detection latency measurement of
+// the paper's case study (Fig. 1): synthetic attacks are injected at random
+// instants of a simulated schedule, and the detection time is the latency
+// until the monitoring security task next completes a full scan.
+//
+// Following the paper, detection capability is assumed perfect (no false
+// positives/negatives); the measurement isolates the *scheduling* component
+// of detection latency. A job can only detect an attack if its execution
+// started at or after the attack instant — a scan that began earlier may
+// have already passed the corrupted state, so the measurement is the
+// worst-case (conservative) detection time.
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hydra/internal/sim"
+)
+
+// Attack is one injected intrusion: it corrupts the surface monitored by a
+// specific security task at a specific time.
+type Attack struct {
+	Task int      // index of the detecting security task in the trace's specs
+	At   sim.Time // injection instant
+}
+
+// Detection pairs an attack with its measured outcome.
+type Detection struct {
+	Attack   Attack
+	Detected bool
+	Latency  sim.Time // completion of the detecting job minus Attack.At
+}
+
+// DetectionTime returns the worst-case detection latency of an attack on
+// one task given the task's jobs (release order): the completion time of the
+// first job whose execution started at or after the attack instant. ok is
+// false when no such job completes within the trace (censored observation).
+// Unstarted jobs (Start < 0) are skipped.
+func DetectionTime(jobs []sim.Job, at sim.Time) (sim.Time, bool) {
+	for _, j := range jobs {
+		if j.Start < 0 || j.Start < at {
+			continue
+		}
+		if j.Finish >= 0 {
+			return j.Finish - at, true
+		}
+	}
+	return 0, false
+}
+
+// Campaign measures a batch of attacks against a system trace. taskCore and
+// taskIndex map each security task (by campaign task id) to its core and
+// in-core spec index.
+type Campaign struct {
+	Trace     *sim.SystemTrace
+	TaskCore  []int // campaign task id -> core
+	TaskIndex []int // campaign task id -> spec index within that core
+}
+
+// NewCampaign validates and builds a campaign over a simulated system.
+func NewCampaign(trace *sim.SystemTrace, taskCore, taskIndex []int) (*Campaign, error) {
+	if len(taskCore) != len(taskIndex) {
+		return nil, fmt.Errorf("detect: taskCore and taskIndex lengths differ: %d vs %d", len(taskCore), len(taskIndex))
+	}
+	for i := range taskCore {
+		c := taskCore[i]
+		if c < 0 || c >= len(trace.Cores) {
+			return nil, fmt.Errorf("detect: task %d mapped to invalid core %d", i, c)
+		}
+		if ti := taskIndex[i]; ti < 0 || ti >= len(trace.Cores[c].Specs) {
+			return nil, fmt.Errorf("detect: task %d mapped to invalid spec index %d on core %d", i, ti, c)
+		}
+	}
+	return &Campaign{Trace: trace, TaskCore: taskCore, TaskIndex: taskIndex}, nil
+}
+
+// Run measures every attack. Attacks on unknown tasks return an error.
+func (c *Campaign) Run(attacks []Attack) ([]Detection, error) {
+	// Pre-extract per-task job streams once.
+	jobs := make([][]sim.Job, len(c.TaskCore))
+	for i := range c.TaskCore {
+		jobs[i] = c.Trace.Cores[c.TaskCore[i]].JobsOf(c.TaskIndex[i])
+	}
+	out := make([]Detection, len(attacks))
+	for k, a := range attacks {
+		if a.Task < 0 || a.Task >= len(jobs) {
+			return nil, fmt.Errorf("detect: attack %d targets unknown task %d", k, a.Task)
+		}
+		lat, ok := DetectionTime(jobs[a.Task], a.At)
+		out[k] = Detection{Attack: a, Detected: ok, Latency: lat}
+	}
+	return out, nil
+}
+
+// Latencies filters the detected attacks and returns their latencies.
+func Latencies(ds []Detection) []float64 {
+	out := make([]float64, 0, len(ds))
+	for _, d := range ds {
+		if d.Detected {
+			out = append(out, d.Latency)
+		}
+	}
+	return out
+}
+
+// SampleAttacks draws n attacks uniformly over tasks [0, numTasks) and over
+// time [0, horizon*margin], where margin < 1 keeps injections away from the
+// end of the window so detections are rarely censored (the paper triggers
+// attacks "during any random time of execution" of a 500 s window).
+func SampleAttacks(rng *rand.Rand, n, numTasks int, horizon sim.Time, margin float64) []Attack {
+	if margin <= 0 || margin > 1 {
+		margin = 0.8
+	}
+	attacks := make([]Attack, n)
+	for i := range attacks {
+		attacks[i] = Attack{
+			Task: rng.Intn(numTasks),
+			At:   rng.Float64() * horizon * margin,
+		}
+	}
+	return attacks
+}
+
+// WorstCaseDetection returns the supremum of the detection latency over all
+// attack instants within the trace for one task's job stream: an adversary
+// who knows the schedule strikes immediately after a scan begins, so the
+// worst case over attacks in [start_k, start_{k+1}) is achieved just after
+// start_k and detected at finish_{k+1}:
+//
+//	WCD = max_k (finish_{k+1} - start_k).
+//
+// ok is false when fewer than two finished jobs exist (no interior worst
+// case is measurable). Unfinished or unstarted jobs truncate the scan.
+func WorstCaseDetection(jobs []sim.Job) (sim.Time, bool) {
+	var started []sim.Job
+	for _, j := range jobs {
+		if j.Start >= 0 && j.Finish >= 0 {
+			started = append(started, j)
+		}
+	}
+	if len(started) < 2 {
+		return 0, false
+	}
+	worst := sim.Time(0)
+	for k := 0; k+1 < len(started); k++ {
+		if d := started[k+1].Finish - started[k].Start; d > worst {
+			worst = d
+		}
+	}
+	return worst, true
+}
+
+// ExpectedDetection estimates the mean detection latency for an attacker
+// striking uniformly at random in time, by integrating the detection-time
+// profile over the span between the first and last job start. For attack
+// time t in [start_k, start_{k+1}), the latency is finish_{k+1} - t, so each
+// segment contributes gap * (finish_{k+1} - midpoint).
+func ExpectedDetection(jobs []sim.Job) (sim.Time, bool) {
+	var started []sim.Job
+	for _, j := range jobs {
+		if j.Start >= 0 && j.Finish >= 0 {
+			started = append(started, j)
+		}
+	}
+	if len(started) < 2 {
+		return 0, false
+	}
+	var area, span sim.Time
+	for k := 0; k+1 < len(started); k++ {
+		gap := started[k+1].Start - started[k].Start
+		if gap <= 0 {
+			continue
+		}
+		mid := started[k].Start + gap/2
+		area += gap * (started[k+1].Finish - mid)
+		span += gap
+	}
+	if span <= 0 {
+		return 0, false
+	}
+	return area / span, true
+}

@@ -1,0 +1,269 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hydra/internal/sim"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(b)) }
+
+func TestDetectionTimeBasic(t *testing.T) {
+	jobs := []sim.Job{
+		{Task: 0, Release: 0, Start: 0, Finish: 2},
+		{Task: 0, Release: 10, Start: 10, Finish: 12},
+		{Task: 0, Release: 20, Start: 21, Finish: 23},
+	}
+	// Attack at t=1: first job started at 0 < 1, so job 2 detects at 12.
+	lat, ok := DetectionTime(jobs, 1)
+	if !ok || !near(lat, 11, 1e-12) {
+		t.Fatalf("lat=%v ok=%v, want 11 true", lat, ok)
+	}
+	// Attack exactly at a start instant is caught by that job.
+	lat, ok = DetectionTime(jobs, 10)
+	if !ok || !near(lat, 2, 1e-12) {
+		t.Fatalf("lat=%v ok=%v, want 2 true", lat, ok)
+	}
+	// Attack after all starts: censored.
+	if _, ok := DetectionTime(jobs, 25); ok {
+		t.Fatal("attack after last start must be censored")
+	}
+	// Unfinished job cannot detect.
+	jobs2 := []sim.Job{{Task: 0, Release: 0, Start: 5, Finish: -1}}
+	if _, ok := DetectionTime(jobs2, 1); ok {
+		t.Fatal("unfinished job must not detect")
+	}
+	// Unstarted jobs are skipped.
+	jobs3 := []sim.Job{{Task: 0, Release: 0, Start: -1, Finish: -1}}
+	if _, ok := DetectionTime(jobs3, 0); ok {
+		t.Fatal("unstarted job must not detect")
+	}
+}
+
+func simpleTrace(t *testing.T) *sim.SystemTrace {
+	t.Helper()
+	perCore := [][]sim.TaskSpec{
+		{
+			{Name: "rt", C: 2, T: 10, Prio: 0, Kind: sim.KindRT},
+			{Name: "sec0", C: 1, T: 20, Prio: 10, Kind: sim.KindSecurity},
+		},
+		{
+			{Name: "sec1", C: 1, T: 40, Prio: 10, Kind: sim.KindSecurity},
+		},
+	}
+	st, err := sim.SimulateSystem(perCore, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCampaignValidation(t *testing.T) {
+	st := simpleTrace(t)
+	if _, err := NewCampaign(st, []int{0}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := NewCampaign(st, []int{5}, []int{0}); err == nil {
+		t.Fatal("invalid core must error")
+	}
+	if _, err := NewCampaign(st, []int{0}, []int{9}); err == nil {
+		t.Fatal("invalid spec index must error")
+	}
+	c, err := NewCampaign(st, []int{0, 1}, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run([]Attack{{Task: 7, At: 0}}); err == nil {
+		t.Fatal("unknown attack task must error")
+	}
+}
+
+func TestCampaignRun(t *testing.T) {
+	st := simpleTrace(t)
+	c, err := NewCampaign(st, []int{0, 1}, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacks := []Attack{
+		{Task: 0, At: 0},   // sec0 job at release 0 starts at 2 (after rt), finishes 3
+		{Task: 1, At: 50},  // sec1 next start at 80, finishes 81
+		{Task: 0, At: 395}, // near horizon: censored (no later start)
+	}
+	ds, err := c.Run(attacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds[0].Detected || !near(ds[0].Latency, 3, 1e-9) {
+		t.Fatalf("attack 0: %+v", ds[0])
+	}
+	if !ds[1].Detected || !near(ds[1].Latency, 31, 1e-9) {
+		t.Fatalf("attack 1: %+v", ds[1])
+	}
+	if ds[2].Detected {
+		t.Fatalf("attack 2 should be censored: %+v", ds[2])
+	}
+	lats := Latencies(ds)
+	if len(lats) != 2 {
+		t.Fatalf("latencies = %v", lats)
+	}
+}
+
+func TestSampleAttacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	attacks := SampleAttacks(rng, 100, 3, 1000, 0.8)
+	if len(attacks) != 100 {
+		t.Fatalf("count = %d", len(attacks))
+	}
+	for _, a := range attacks {
+		if a.Task < 0 || a.Task >= 3 {
+			t.Fatalf("task out of range: %d", a.Task)
+		}
+		if a.At < 0 || a.At > 800 {
+			t.Fatalf("time out of range: %v", a.At)
+		}
+	}
+	// Bad margin falls back to 0.8.
+	attacks = SampleAttacks(rng, 10, 1, 1000, -1)
+	for _, a := range attacks {
+		if a.At > 800 {
+			t.Fatalf("fallback margin violated: %v", a.At)
+		}
+	}
+}
+
+// Property: detection latency is at least the WCET of the detecting task
+// (a full scan must complete) and detection time decreases (weakly) when the
+// monitoring period shrinks.
+func TestLatencyLowerBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 1 + 4*rng.Float64()
+		period := 20 + 100*rng.Float64()
+		specs := []sim.TaskSpec{{Name: "sec", C: c, T: period, Prio: 0, Kind: sim.KindSecurity}}
+		tr, err := sim.SimulateCore(specs, 50*period)
+		if err != nil {
+			return false
+		}
+		jobs := tr.JobsOf(0)
+		for trial := 0; trial < 20; trial++ {
+			at := rng.Float64() * 40 * period
+			lat, ok := DetectionTime(jobs, at)
+			if !ok {
+				continue
+			}
+			if lat < c-1e-9 {
+				return false
+			}
+			// Upper bound for an otherwise idle core: period + C.
+			if lat > period+c+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorstCaseDetection(t *testing.T) {
+	jobs := []sim.Job{
+		{Start: 0, Finish: 2},
+		{Start: 10, Finish: 12},
+		{Start: 30, Finish: 33},
+	}
+	// Candidates: 12-0=12, 33-10=23 -> 23.
+	wcd, ok := WorstCaseDetection(jobs)
+	if !ok || wcd != 23 {
+		t.Fatalf("wcd=%v ok=%v, want 23", wcd, ok)
+	}
+	// Fewer than two jobs: not measurable.
+	if _, ok := WorstCaseDetection(jobs[:1]); ok {
+		t.Fatal("single job must not measure")
+	}
+	// Unfinished jobs excluded.
+	withBad := append(append([]sim.Job{}, jobs...), sim.Job{Start: 40, Finish: -1})
+	wcd2, ok := WorstCaseDetection(withBad)
+	if !ok || wcd2 != 23 {
+		t.Fatalf("unfinished job changed WCD: %v", wcd2)
+	}
+}
+
+func TestExpectedDetection(t *testing.T) {
+	// Perfectly periodic: starts 0,10,20, each finishing 2 after start.
+	jobs := []sim.Job{
+		{Start: 0, Finish: 2},
+		{Start: 10, Finish: 12},
+		{Start: 20, Finish: 22},
+	}
+	// Segment [0,10): latency 12-t, mean 12-5 = 7. Segment [10,20): mean 7.
+	e, ok := ExpectedDetection(jobs)
+	if !ok || !near(e, 7, 1e-12) {
+		t.Fatalf("expected=%v ok=%v, want 7", e, ok)
+	}
+	if _, ok := ExpectedDetection(jobs[:1]); ok {
+		t.Fatal("single job must not measure")
+	}
+}
+
+// Property: empirical attack sampling converges to the analytical
+// ExpectedDetection, and no sample exceeds WorstCaseDetection.
+func TestDetectionAnalyticsMatchSamplingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 1 + 3*rng.Float64()
+		period := 20 + 80*rng.Float64()
+		specs := []sim.TaskSpec{
+			{Name: "rt", C: 0.3 * period, T: period, Prio: 0},
+			{Name: "sec", C: c, T: 4 * period, Prio: 10, Kind: sim.KindSecurity},
+		}
+		tr, err := sim.SimulateCore(specs, 200*period)
+		if err != nil {
+			return false
+		}
+		jobs := tr.JobsOf(1)
+		wcd, ok1 := WorstCaseDetection(jobs)
+		exp, ok2 := ExpectedDetection(jobs)
+		if !ok1 || !ok2 {
+			return false
+		}
+		// Sample attacks uniformly inside the measurable span, using only
+		// jobs that actually started (the tail job released just before the
+		// horizon may have Start = -1).
+		var started []sim.Job
+		for _, j := range jobs {
+			if j.Start >= 0 && j.Finish >= 0 {
+				started = append(started, j)
+			}
+		}
+		if len(started) < 2 {
+			return false
+		}
+		first, last := started[0].Start, started[len(started)-1].Start
+		var sum float64
+		n := 0
+		for i := 0; i < 400; i++ {
+			at := first + rng.Float64()*(last-first)
+			lat, ok := DetectionTime(jobs, at)
+			if !ok {
+				continue
+			}
+			if lat > wcd+1e-9 {
+				return false // sample exceeded the analytical worst case
+			}
+			sum += lat
+			n++
+		}
+		if n < 100 {
+			return false
+		}
+		mean := sum / float64(n)
+		return mean <= exp*1.2+1 && mean >= exp*0.8-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

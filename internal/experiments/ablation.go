@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/partition"
+	"hydra/internal/stats"
+	"hydra/internal/taskgen"
+)
+
+// AblationConfig parametrizes the design-choice sweep of DESIGN.md §5: a
+// grid over HYDRA commitment policies and real-time partition heuristics,
+// measured by acceptance ratio and mean per-task tightness at a fixed
+// utilization level.
+type AblationConfig struct {
+	M                int
+	UtilFrac         float64 // total utilization as a fraction of M; default 0.8
+	TasksetsPerCell  int     // default 100
+	Seed             int64
+	NonPreemptiveToo bool // additionally evaluate the Sec. V non-preemptive mode
+}
+
+func (c *AblationConfig) withDefaults() AblationConfig {
+	out := *c
+	if out.M <= 0 {
+		out.M = 4
+	}
+	if out.UtilFrac <= 0 {
+		out.UtilFrac = 0.8
+	}
+	if out.TasksetsPerCell <= 0 {
+		out.TasksetsPerCell = 100
+	}
+	return out
+}
+
+// AblationCell is one (policy, heuristic) grid entry.
+type AblationCell struct {
+	Policy        core.Policy
+	Heuristic     partition.Heuristic
+	NonPreemptive bool
+	Generated     int
+	Accepted      int
+	MeanTightness float64 // mean per-task tightness over accepted tasksets
+}
+
+// AcceptanceRatio returns accepted/generated.
+func (c AblationCell) AcceptanceRatio() float64 {
+	if c.Generated == 0 {
+		return 0
+	}
+	return float64(c.Accepted) / float64(c.Generated)
+}
+
+// RunAblation sweeps the (policy, heuristic) grid on a shared workload
+// stream so cells are directly comparable.
+func RunAblation(cfg AblationConfig) ([]AblationCell, error) {
+	c := cfg.withDefaults()
+	policies := []core.Policy{core.BestTightness, core.FirstFeasible, core.LeastLoaded}
+	heuristics := []partition.Heuristic{partition.FirstFit, partition.BestFit, partition.WorstFit, partition.NextFit}
+	modes := []bool{false}
+	if c.NonPreemptiveToo {
+		modes = append(modes, true)
+	}
+
+	var cells []AblationCell
+	for _, np := range modes {
+		for _, pol := range policies {
+			for _, h := range heuristics {
+				cell := AblationCell{Policy: pol, Heuristic: h, NonPreemptive: np}
+				var tightSum float64
+				for t := 0; t < c.TasksetsPerCell; t++ {
+					rng := stats.SplitRNG(c.Seed, int64(t))
+					w, err := taskgen.Generate(taskgen.DefaultParams(c.M, c.UtilFrac*float64(c.M)), rng)
+					if err != nil {
+						continue
+					}
+					cell.Generated++
+					part, err := partition.PartitionRT(w.RT, c.M, h)
+					if err != nil {
+						continue
+					}
+					in, err := core.NewInput(c.M, w.RT, part.CoreOf, w.Sec)
+					if err != nil {
+						return nil, fmt.Errorf("ablation: %w", err)
+					}
+					var r *core.Result
+					if np {
+						r = core.HydraExt(in, core.ExtOptions{
+							HydraOptions:          core.HydraOptions{Policy: pol},
+							NonPreemptiveSecurity: true,
+						})
+					} else {
+						r = core.Hydra(in, core.HydraOptions{Policy: pol})
+					}
+					if r.Schedulable {
+						cell.Accepted++
+						tightSum += r.Cumulative / float64(len(w.Sec))
+					}
+				}
+				if cell.Accepted > 0 {
+					cell.MeanTightness = tightSum / float64(cell.Accepted)
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/detect"
+	"hydra/internal/partition"
+	"hydra/internal/sim"
+	"hydra/internal/stats"
+	"hydra/internal/uav"
+)
+
+// Fig1Config parametrizes the UAV case study (Sec. IV-A). Zero values select
+// the paper's setup.
+type Fig1Config struct {
+	Cores      []int    // platform sizes; default {2, 4, 8}
+	Horizon    sim.Time // observation window; default 500 s
+	Attacks    int      // injected attacks per (scheme, M); default 1000
+	Seed       int64    // RNG seed for attack sampling
+	CDFPoints  int      // resolution of the returned ECDF series; default 50
+	CDFRangeMs float64  // x-axis cap of the series; default 50000 ms (paper)
+}
+
+func (c *Fig1Config) withDefaults() Fig1Config {
+	out := *c
+	if len(out.Cores) == 0 {
+		out.Cores = []int{2, 4, 8}
+	}
+	if out.Horizon <= 0 {
+		out.Horizon = 500_000 // 500 s in ms
+	}
+	if out.Attacks <= 0 {
+		out.Attacks = 1000
+	}
+	if out.CDFPoints <= 0 {
+		out.CDFPoints = 50
+	}
+	if out.CDFRangeMs <= 0 {
+		out.CDFRangeMs = 50_000
+	}
+	return out
+}
+
+// Fig1Scheme is the measured outcome of one allocation scheme at one M.
+type Fig1Scheme struct {
+	Scheme        string
+	Allocation    *core.Result
+	MeanDetection float64      // mean detection latency over detected attacks (ms)
+	WorstCase     float64      // analytical worst case over ALL attack instants (ms)
+	Censored      int          // attacks with no detecting job inside the horizon
+	Misses        int          // deadline misses observed in simulation (should be 0)
+	ECDF          *stats.ECDF  // raw detection-time distribution
+	Series        [][2]float64 // plot-ready (x, F(x)) pairs
+}
+
+// Fig1Row compares the two schemes for one platform size, matching one
+// subplot of Fig. 1.
+type Fig1Row struct {
+	M              int
+	Hydra          Fig1Scheme
+	SingleCore     Fig1Scheme
+	ImprovementPct float64 // (mean_SC - mean_HYDRA)/mean_SC * 100
+}
+
+// Fig1Result is the full figure.
+type Fig1Result struct {
+	Config Fig1Config
+	Rows   []Fig1Row
+}
+
+// RunFig1 reproduces Fig. 1: for each platform size, allocate the UAV
+// security workload with HYDRA and with SingleCore, simulate the resulting
+// schedules over the observation window, inject the *same* random attack
+// sequence against both, and report detection-time ECDFs plus the mean
+// improvement. The paper reports ~19.8 % / 27.2 % / 29.8 % faster mean
+// detection for HYDRA at 2 / 4 / 8 cores.
+func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
+	c := cfg.withDefaults()
+	rt := uav.RTTasks()
+	sec := uav.SecurityTaskSet()
+	out := &Fig1Result{Config: c}
+
+	for _, m := range c.Cores {
+		// Identical attack sequence for both schemes: paired comparison.
+		rng := stats.SplitRNG(c.Seed, int64(m))
+		attacks := detect.SampleAttacks(rng, c.Attacks, len(sec), c.Horizon, 0.8)
+
+		hydraPart, err := core.PartitionForHydra(rt, m, partition.BestFit)
+		if err != nil {
+			return nil, fmt.Errorf("fig1: M=%d: partition RT tasks: %w", m, err)
+		}
+		hydraIn, err := core.NewInput(m, rt, hydraPart, sec)
+		if err != nil {
+			return nil, fmt.Errorf("fig1: M=%d: %w", m, err)
+		}
+		hydraRes := core.Hydra(hydraIn, core.HydraOptions{})
+		hyd, err := measureScheme(hydraIn, hydraRes, attacks, c)
+		if err != nil {
+			return nil, fmt.Errorf("fig1: M=%d hydra: %w", m, err)
+		}
+
+		scIn, err := core.NewSingleCoreInput(m, rt, sec, partition.BestFit)
+		if err != nil {
+			return nil, fmt.Errorf("fig1: M=%d singlecore: %w", m, err)
+		}
+		scRes := core.SingleCoreInput(scIn)
+		sc, err := measureScheme(scIn, scRes, attacks, c)
+		if err != nil {
+			return nil, fmt.Errorf("fig1: M=%d singlecore: %w", m, err)
+		}
+
+		row := Fig1Row{M: m, Hydra: *hyd, SingleCore: *sc}
+		if sc.MeanDetection > 0 {
+			row.ImprovementPct = (sc.MeanDetection - hyd.MeanDetection) / sc.MeanDetection * 100
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// measureScheme simulates one allocation and measures the attack campaign.
+func measureScheme(in *core.Input, res *core.Result, attacks []detect.Attack, c Fig1Config) (*Fig1Scheme, error) {
+	if !res.Schedulable {
+		return nil, fmt.Errorf("%s allocation unschedulable: %s", res.Scheme, res.Reason)
+	}
+	if err := core.Verify(in, res); err != nil {
+		return nil, fmt.Errorf("%s allocation failed verification: %w", res.Scheme, err)
+	}
+	perCore, taskCore, taskIndex, err := BuildSimSpecs(in, res)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := sim.SimulateSystem(perCore, c.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	campaign, err := detect.NewCampaign(trace, taskCore, taskIndex)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := campaign.Run(attacks)
+	if err != nil {
+		return nil, err
+	}
+	lats := detect.Latencies(ds)
+	e := stats.NewECDF(lats)
+	// Analytical worst case: the slowest-detected surface over every
+	// possible attack instant, not only the sampled ones.
+	var worst float64
+	for i := range taskCore {
+		jobs := trace.Cores[taskCore[i]].JobsOf(taskIndex[i])
+		if w, ok := detect.WorstCaseDetection(jobs); ok && w > worst {
+			worst = w
+		}
+	}
+	return &Fig1Scheme{
+		Scheme:        res.Scheme,
+		Allocation:    res,
+		MeanDetection: e.Mean(),
+		WorstCase:     worst,
+		Censored:      len(ds) - len(lats),
+		Misses:        trace.TotalMisses(),
+		ECDF:          e,
+		Series:        e.Series(c.CDFRangeMs, c.CDFPoints),
+	}, nil
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/partition"
+	"hydra/internal/rts"
+	"hydra/internal/stats"
+	"hydra/internal/taskgen"
+)
+
+// Fig2Config parametrizes the synthetic acceptance-ratio experiment
+// (Sec. IV-B.1). Zero values select the paper's setup: utilization swept
+// from 0.025M to 0.975M in steps of 0.025M, 250 tasksets per point.
+type Fig2Config struct {
+	M                int
+	TasksetsPerPoint int     // default 250 (paper)
+	UtilStepFrac     float64 // default 0.025 (of M)
+	Seed             int64
+	Heuristic        partition.Heuristic // RT partitioning; default best-fit
+	Policy           core.Policy         // HYDRA commitment policy ablation
+}
+
+func (c *Fig2Config) withDefaults() Fig2Config {
+	out := *c
+	if out.TasksetsPerPoint <= 0 {
+		out.TasksetsPerPoint = 250
+	}
+	if out.UtilStepFrac <= 0 {
+		out.UtilStepFrac = 0.025
+	}
+	return out
+}
+
+// Fig2Point is one x-position of the figure: a total-utilization level with
+// the acceptance ratios of both schemes.
+type Fig2Point struct {
+	TotalUtil      float64
+	Generated      int // tasksets passing the Eq. 1 necessary condition
+	HydraAccepted  int
+	SingleAccepted int
+	// ImprovementPct is (delta_HYDRA - delta_SingleCore)/delta_HYDRA * 100,
+	// in [0, 100] when HYDRA dominates. (The paper prints the formula with
+	// the subscripts swapped but plots exactly this quantity; see
+	// EXPERIMENTS.md.)
+	ImprovementPct float64
+}
+
+// HydraRatio returns delta_HYDRA.
+func (p Fig2Point) HydraRatio() float64 {
+	if p.Generated == 0 {
+		return 0
+	}
+	return float64(p.HydraAccepted) / float64(p.Generated)
+}
+
+// SingleRatio returns delta_SingleCore.
+func (p Fig2Point) SingleRatio() float64 {
+	if p.Generated == 0 {
+		return 0
+	}
+	return float64(p.SingleAccepted) / float64(p.Generated)
+}
+
+// RunFig2 reproduces one subplot of Fig. 2 (one M). For every utilization
+// level it generates random workloads (Randfixedsum utilizations, paper
+// parameter ranges), filters by the Eq. 1 necessary condition, and counts
+// how many each scheme schedules.
+func RunFig2(cfg Fig2Config) ([]Fig2Point, error) {
+	c := cfg.withDefaults()
+	if c.M < 2 {
+		return nil, fmt.Errorf("fig2: M must be >= 2 (SingleCore needs a spare core), got %d", c.M)
+	}
+	var points []Fig2Point
+	mf := float64(c.M)
+	steps := int(0.975/c.UtilStepFrac + 1e-9)
+	for k := 1; k <= steps; k++ {
+		util := c.UtilStepFrac * float64(k) * mf
+		pt := Fig2Point{TotalUtil: util}
+		for t := 0; t < c.TasksetsPerPoint; t++ {
+			rng := stats.SplitRNG(c.Seed, int64(k)<<32|int64(t))
+			w, err := taskgen.Generate(taskgen.DefaultParams(c.M, util), rng)
+			if err != nil {
+				continue // utilization not splittable at this draw; rare
+			}
+			if !necessaryCondition(w, c.M) {
+				continue // trivially unschedulable; excluded per the paper
+			}
+			pt.Generated++
+			if hydraAccepts(w, c.M, c.Heuristic, c.Policy) {
+				pt.HydraAccepted++
+			}
+			if singleAccepts(w, c.M, c.Heuristic) {
+				pt.SingleAccepted++
+			}
+		}
+		if pt.HydraAccepted > 0 {
+			pt.ImprovementPct = (pt.HydraRatio() - pt.SingleRatio()) / pt.HydraRatio() * 100
+			if pt.ImprovementPct < 0 {
+				pt.ImprovementPct = 0
+			}
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// necessaryCondition applies Eq. 1 to the combined workload with security
+// tasks at their desired rates (their densest legal configuration).
+func necessaryCondition(w *taskgen.Workload, m int) bool {
+	all := append([]rts.RTTask(nil), w.RT...)
+	for _, s := range w.Sec {
+		all = append(all, rts.NewRTTask(s.Name, s.C, s.TDes))
+	}
+	return rts.NecessaryConditionHolds(all, m)
+}
+
+// hydraAccepts reports whether HYDRA schedules the workload on m cores.
+func hydraAccepts(w *taskgen.Workload, m int, h partition.Heuristic, pol core.Policy) bool {
+	part, err := partition.PartitionRT(w.RT, m, h)
+	if err != nil {
+		return false
+	}
+	in, err := core.NewInput(m, w.RT, part.CoreOf, w.Sec)
+	if err != nil {
+		return false
+	}
+	return core.Hydra(in, core.HydraOptions{Policy: pol}).Schedulable
+}
+
+// singleAccepts reports whether the SingleCore scheme schedules the workload.
+func singleAccepts(w *taskgen.Workload, m int, h partition.Heuristic) bool {
+	return core.SingleCore(m, w.RT, w.Sec, h).Schedulable
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/partition"
+	"hydra/internal/stats"
+	"hydra/internal/taskgen"
+)
+
+// Fig3Config parametrizes the HYDRA-vs-optimal comparison (Sec. IV-B.2,
+// Fig. 3): M = 2 cores, NS in [2, 6] security tasks, and the remaining
+// parameters as in Fig. 2. The paper observes a cumulative-tightness gap of
+// zero at low/medium utilization growing to at most ~22 %.
+type Fig3Config struct {
+	M                int     // default 2 (paper)
+	NSMin, NSMax     int     // default [2, 6] (paper)
+	TasksetsPerPoint int     // default 50
+	UtilStepFrac     float64 // default 0.05 (of M)
+	Seed             int64
+	// RefineJointGP refines each per-core period vector of the optimal
+	// baseline with the signomial sequential-GP maximizer (slower, slightly
+	// tighter optimum). Off by default; the assignment enumeration is the
+	// dominant effect.
+	RefineJointGP bool
+}
+
+func (c *Fig3Config) withDefaults() Fig3Config {
+	out := *c
+	if out.M <= 0 {
+		out.M = 2
+	}
+	if out.NSMin <= 0 {
+		out.NSMin = 2
+	}
+	if out.NSMax < out.NSMin {
+		out.NSMax = 6
+	}
+	if out.TasksetsPerPoint <= 0 {
+		out.TasksetsPerPoint = 50
+	}
+	if out.UtilStepFrac <= 0 {
+		out.UtilStepFrac = 0.05
+	}
+	return out
+}
+
+// Fig3Point is one utilization level of the figure.
+type Fig3Point struct {
+	TotalUtil  float64
+	Compared   int     // tasksets where both HYDRA and OPT were schedulable
+	MeanGapPct float64 // mean (eta_OPT - eta_HYDRA)/eta_OPT * 100
+	MaxGapPct  float64
+}
+
+// RunFig3 reproduces Fig. 3: for each utilization level, draw small
+// workloads, run HYDRA and the exhaustive optimal baseline, and average the
+// cumulative-tightness gap over instances both schemes schedule.
+func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
+	c := cfg.withDefaults()
+	var points []Fig3Point
+	mf := float64(c.M)
+	steps := int(0.975/c.UtilStepFrac + 1e-9)
+	for k := 1; k <= steps; k++ {
+		util := c.UtilStepFrac * float64(k) * mf
+		pt := Fig3Point{TotalUtil: util}
+		var sum float64
+		for t := 0; t < c.TasksetsPerPoint; t++ {
+			rng := stats.SplitRNG(c.Seed+1000, int64(k)<<32|int64(t))
+			params := taskgen.DefaultParams(c.M, util)
+			params.NS = c.NSMin + rng.Intn(c.NSMax-c.NSMin+1)
+			w, err := taskgen.Generate(params, rng)
+			if err != nil {
+				continue
+			}
+			part, err := partition.PartitionRT(w.RT, c.M, partition.BestFit)
+			if err != nil {
+				continue
+			}
+			in, err := core.NewInput(c.M, w.RT, part.CoreOf, w.Sec)
+			if err != nil {
+				return nil, fmt.Errorf("fig3: %w", err)
+			}
+			hyd := core.Hydra(in, core.HydraOptions{})
+			opt := core.Optimal(in, core.OptimalOptions{RefineJointGP: c.RefineJointGP})
+			gap, ok := core.TightnessGap(opt, hyd)
+			if !ok {
+				continue
+			}
+			pt.Compared++
+			sum += gap
+			if gap > pt.MaxGapPct {
+				pt.MaxGapPct = gap
+			}
+		}
+		if pt.Compared > 0 {
+			pt.MeanGapPct = sum / float64(pt.Compared)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

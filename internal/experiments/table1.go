@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hydra/internal/uav"
+)
+
+// Table1Row is one security task of the paper's Table I with its scheduling
+// parameters (the paper lists only task and function; the parameters are the
+// case-study substitutes documented in internal/uav).
+type Table1Row struct {
+	Task        string
+	Application string
+	Function    string
+	C           float64
+	TDes        float64
+	TMax        float64
+}
+
+// Table1 returns the security-task inventory of Table I.
+func Table1() []Table1Row {
+	infos := uav.SecurityTasks()
+	rows := make([]Table1Row, len(infos))
+	for i, info := range infos {
+		rows[i] = Table1Row{
+			Task:        info.Task.Name,
+			Application: info.Application,
+			Function:    info.Function,
+			C:           info.Task.C,
+			TDes:        info.Task.TDes,
+			TMax:        info.Task.TMax,
+		}
+	}
+	return rows
+}
+
+// FormatTable1 renders Table I as fixed-width text.
+func FormatTable1() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-9s %9s %10s %10s  %s\n", "Task", "App", "C (ms)", "Tdes (ms)", "Tmax (ms)", "Function")
+	for _, r := range Table1() {
+		fmt.Fprintf(&sb, "%-16s %-9s %9.0f %10.0f %10.0f  %s\n",
+			r.Task, r.Application, r.C, r.TDes, r.TMax, r.Function)
+	}
+	return sb.String()
+}

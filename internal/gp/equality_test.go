@@ -1,0 +1,68 @@
+package gp
+
+import "testing"
+
+func TestAddEquality(t *testing.T) {
+	// minimize x + y subject to x*y == 4, x,y > 0: optimum x=y=2, obj 4.
+	m := NewModel()
+	x := m.AddBoundedVar("x", 0.01, 100)
+	y := m.AddBoundedVar("y", 0.01, 100)
+	m.Minimize(Posy(X(x), X(y)))
+	m.AddEquality(X(x).Mul(X(y)), Mon(4), "xy=4")
+	sol := solveOrDie(t, m, nil)
+	if !near(sol.X[0], 2, 1e-4) || !near(sol.X[1], 2, 1e-4) {
+		t.Fatalf("x=%v y=%v, want 2, 2", sol.X[0], sol.X[1])
+	}
+	if !near(sol.Objective, 4, 1e-6) {
+		t.Fatalf("obj = %v", sol.Objective)
+	}
+}
+
+func TestEqualityPinsVariable(t *testing.T) {
+	// x == 3 exactly.
+	m := NewModel()
+	x := m.AddVar("x")
+	m.Minimize(Posy(X(x), X(x).Pow(-1)))
+	m.AddEquality(X(x), Mon(3), "x=3")
+	sol := solveOrDie(t, m, nil)
+	if !near(sol.X[0], 3, 1e-5) {
+		t.Fatalf("x = %v, want 3", sol.X[0])
+	}
+}
+
+func TestConstraintValues(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x")
+	m.Minimize(Posy(X(x)))
+	m.AddConstraint(Posy(Mon(5).MulVar(x, -1)), "x>=5")
+	m.AddConstraint(Posy(Mon(0.01).MulVar(x, 1)), "x<=100")
+	sol := solveOrDie(t, m, nil)
+	cvs := m.ConstraintValues(sol.X)
+	if len(cvs) != 2 {
+		t.Fatalf("constraint values = %v", cvs)
+	}
+	if cvs[0].Tag != "x>=5" || !cvs[0].Binding(1e-4) {
+		t.Fatalf("lower constraint should bind at the optimum: %+v", cvs[0])
+	}
+	if cvs[1].Binding(1e-4) {
+		t.Fatalf("upper constraint should be slack: %+v", cvs[1])
+	}
+	if cvs[1].Value > 1 {
+		t.Fatalf("upper constraint violated: %+v", cvs[1])
+	}
+}
+
+func TestEqualityInfeasibleCombination(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x")
+	m.Minimize(Posy(X(x)))
+	m.AddEquality(X(x), Mon(3), "x=3")
+	m.AddEquality(X(x), Mon(5), "x=5")
+	sol, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}

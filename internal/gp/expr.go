@@ -1,0 +1,237 @@
+// Package gp implements geometric programming (GP) in standard form:
+//
+//	minimize    f0(x)
+//	subject to  fi(x) <= 1,  i = 1..p
+//	            x > 0
+//
+// where every fi is a posynomial — a sum of monomials c * x1^a1 * ... * xn^an
+// with c > 0 and real exponents. A GP is transformed to a convex program by
+// the change of variables t = log x and is solved here with a log-barrier
+// interior-point Newton method (Boyd et al., "A tutorial on geometric
+// programming", Optimization & Engineering 2007).
+//
+// The package exists because the paper this repository reproduces (Hasan et
+// al., DATE 2018) solves its period-adaptation problem with GPkit + CVXOPT;
+// Go has no geometric-programming library, so we provide one, plus the
+// signomial extension (monomial condensation) needed to *maximize* a
+// posynomial objective such as the cumulative tightness of Eq. (3).
+package gp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Var identifies a positive decision variable in a Model.
+type Var struct {
+	idx   int
+	model *Model
+}
+
+// Index returns the variable's position in the model's solution vector.
+func (v Var) Index() int { return v.idx }
+
+// Name returns the variable's name.
+func (v Var) Name() string { return v.model.names[v.idx] }
+
+// Monomial is c * prod_j x_j^{a_j} with c > 0. The zero value is invalid;
+// build monomials with Mon and the Mul/Div/Pow combinators.
+type Monomial struct {
+	Coeff float64
+	Exps  map[int]float64 // variable index -> exponent; absent means 0
+}
+
+// Mon returns the constant monomial c. c must be positive (validated at
+// model-solve time so expression building never fails mid-formula).
+func Mon(c float64) Monomial {
+	return Monomial{Coeff: c, Exps: map[int]float64{}}
+}
+
+// X returns the monomial x^1 for a variable.
+func X(v Var) Monomial {
+	return Monomial{Coeff: 1, Exps: map[int]float64{v.idx: 1}}
+}
+
+// clone returns a deep copy of m.
+func (m Monomial) clone() Monomial {
+	e := make(map[int]float64, len(m.Exps))
+	for k, v := range m.Exps {
+		e[k] = v
+	}
+	return Monomial{Coeff: m.Coeff, Exps: e}
+}
+
+// Mul returns m scaled by the monomial n (coefficients multiply, exponents add).
+func (m Monomial) Mul(n Monomial) Monomial {
+	r := m.clone()
+	r.Coeff *= n.Coeff
+	for k, v := range n.Exps {
+		r.Exps[k] += v
+		if r.Exps[k] == 0 {
+			delete(r.Exps, k)
+		}
+	}
+	return r
+}
+
+// MulVar returns m * v^e.
+func (m Monomial) MulVar(v Var, e float64) Monomial {
+	r := m.clone()
+	r.Exps[v.idx] += e
+	if r.Exps[v.idx] == 0 {
+		delete(r.Exps, v.idx)
+	}
+	return r
+}
+
+// Div returns m / n.
+func (m Monomial) Div(n Monomial) Monomial {
+	inv := n.clone()
+	inv.Coeff = 1 / n.Coeff
+	for k := range inv.Exps {
+		inv.Exps[k] = -inv.Exps[k]
+	}
+	return m.Mul(inv)
+}
+
+// Pow returns m^p (valid for any real p because monomials are log-linear).
+func (m Monomial) Pow(p float64) Monomial {
+	r := m.clone()
+	r.Coeff = math.Pow(m.Coeff, p)
+	for k := range r.Exps {
+		r.Exps[k] *= p
+		if r.Exps[k] == 0 {
+			delete(r.Exps, k)
+		}
+	}
+	return r
+}
+
+// Scale returns m with the coefficient multiplied by c.
+func (m Monomial) Scale(c float64) Monomial {
+	r := m.clone()
+	r.Coeff *= c
+	return r
+}
+
+// Eval evaluates the monomial at x (indexed by variable index).
+func (m Monomial) Eval(x []float64) float64 {
+	v := m.Coeff
+	for k, e := range m.Exps {
+		v *= math.Pow(x[k], e)
+	}
+	return v
+}
+
+// String renders the monomial for diagnostics, with variables sorted by index.
+func (m Monomial) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%g", m.Coeff)
+	idx := make([]int, 0, len(m.Exps))
+	for k := range m.Exps {
+		idx = append(idx, k)
+	}
+	sort.Ints(idx)
+	for _, k := range idx {
+		e := m.Exps[k]
+		if e == 1 {
+			fmt.Fprintf(&sb, "*x%d", k)
+		} else {
+			fmt.Fprintf(&sb, "*x%d^%g", k, e)
+		}
+	}
+	return sb.String()
+}
+
+// Posynomial is a sum of monomials. The empty posynomial is the constant 0
+// and is invalid in objectives and constraints.
+type Posynomial []Monomial
+
+// Posy builds a posynomial from monomial terms.
+func Posy(terms ...Monomial) Posynomial {
+	p := make(Posynomial, 0, len(terms))
+	for _, t := range terms {
+		p = append(p, t.clone())
+	}
+	return p
+}
+
+// Add returns p + q.
+func (p Posynomial) Add(q Posynomial) Posynomial {
+	r := make(Posynomial, 0, len(p)+len(q))
+	for _, m := range p {
+		r = append(r, m.clone())
+	}
+	for _, m := range q {
+		r = append(r, m.clone())
+	}
+	return r
+}
+
+// AddMon returns p + m.
+func (p Posynomial) AddMon(m Monomial) Posynomial {
+	return p.Add(Posynomial{m})
+}
+
+// MulMon returns p * m (distributes the monomial across every term).
+func (p Posynomial) MulMon(m Monomial) Posynomial {
+	r := make(Posynomial, 0, len(p))
+	for _, t := range p {
+		r = append(r, t.Mul(m))
+	}
+	return r
+}
+
+// Scale returns p with every coefficient multiplied by c > 0.
+func (p Posynomial) Scale(c float64) Posynomial {
+	r := make(Posynomial, 0, len(p))
+	for _, t := range p {
+		r = append(r, t.Scale(c))
+	}
+	return r
+}
+
+// Eval evaluates the posynomial at x.
+func (p Posynomial) Eval(x []float64) float64 {
+	var s float64
+	for _, m := range p {
+		s += m.Eval(x)
+	}
+	return s
+}
+
+// String renders the posynomial for diagnostics.
+func (p Posynomial) String() string {
+	if len(p) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(p))
+	for i, m := range p {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// validate checks that every coefficient is positive and finite and every
+// exponent is finite. It returns a descriptive error otherwise.
+func (p Posynomial) validate(nvars int) error {
+	if len(p) == 0 {
+		return fmt.Errorf("gp: empty posynomial")
+	}
+	for i, m := range p {
+		if !(m.Coeff > 0) || math.IsInf(m.Coeff, 0) {
+			return fmt.Errorf("gp: term %d has non-positive or non-finite coefficient %g", i, m.Coeff)
+		}
+		for k, e := range m.Exps {
+			if k < 0 || k >= nvars {
+				return fmt.Errorf("gp: term %d references unknown variable index %d", i, k)
+			}
+			if math.IsNaN(e) || math.IsInf(e, 0) {
+				return fmt.Errorf("gp: term %d has non-finite exponent for x%d", i, k)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package gp
+
+import (
+	"math"
+
+	"hydra/internal/lal"
+)
+
+// logSumExp is the log-space image of a posynomial:
+//
+//	F(t) = log sum_k exp(a_k . t + b_k)
+//
+// which is convex in t. It caches the per-term softmax weights of the last
+// evaluation so gradient and Hessian accumulation reuse them.
+type logSumExp struct {
+	a []lal.Vector // K rows of exponents, each length n
+	b lal.Vector   // K log-coefficients
+	w lal.Vector   // scratch: softmax weights from the last Value call
+}
+
+// newLogSumExp lowers a validated posynomial with n model variables.
+func newLogSumExp(p Posynomial, n int) logSumExp {
+	ls := logSumExp{
+		a: make([]lal.Vector, len(p)),
+		b: lal.NewVector(len(p)),
+		w: lal.NewVector(len(p)),
+	}
+	for k, m := range p {
+		row := lal.NewVector(n)
+		for j, e := range m.Exps {
+			row[j] = e
+		}
+		ls.a[k] = row
+		ls.b[k] = math.Log(m.Coeff)
+	}
+	return ls
+}
+
+// Value computes F(t) and refreshes the cached softmax weights.
+func (f *logSumExp) Value(t lal.Vector) float64 {
+	ymax := math.Inf(-1)
+	for k := range f.a {
+		y := f.b[k] + f.a[k].Dot(t)
+		f.w[k] = y // temporarily store raw exponents
+		if y > ymax {
+			ymax = y
+		}
+	}
+	var s float64
+	for k := range f.w {
+		f.w[k] = math.Exp(f.w[k] - ymax)
+		s += f.w[k]
+	}
+	for k := range f.w {
+		f.w[k] /= s
+	}
+	return ymax + math.Log(s)
+}
+
+// AddGrad accumulates alpha * grad F(t) into g, using the weights cached by
+// the immediately preceding Value call at the same t.
+func (f *logSumExp) AddGrad(g lal.Vector, alpha float64) {
+	for k := range f.a {
+		wk := f.w[k]
+		if wk == 0 {
+			continue
+		}
+		g.AddScaled(alpha*wk, f.a[k])
+	}
+}
+
+// Grad writes grad F(t) into g (which is zeroed first), using cached weights.
+func (f *logSumExp) Grad(g lal.Vector) {
+	g.Zero()
+	f.AddGrad(g, 1)
+}
+
+// AddHess accumulates alpha * hess F(t) into h, using cached weights:
+//
+//	hess F = sum_k w_k a_k a_kᵀ - (sum_k w_k a_k)(sum_k w_k a_k)ᵀ
+//
+// scratch must have the same length as t and is clobbered.
+func (f *logSumExp) AddHess(h *lal.Matrix, alpha float64, scratch lal.Vector) {
+	scratch.Zero()
+	for k := range f.a {
+		wk := f.w[k]
+		if wk == 0 {
+			continue
+		}
+		h.AddOuterScaled(alpha*wk, f.a[k])
+		scratch.AddScaled(wk, f.a[k])
+	}
+	h.AddOuterScaled(-alpha, scratch)
+}

@@ -1,0 +1,88 @@
+package gp
+
+import "testing"
+
+// For minimize x s.t. 5/x <= 1, the optimal value is 5 and relaxing the
+// constraint to 5/(1+u) scales the optimum by 1/(1+u): the log-log
+// sensitivity of the binding constraint is exactly 1.
+func TestSensitivityBindingConstraint(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x")
+	m.Minimize(Posy(X(x)))
+	m.AddConstraint(Posy(Mon(5).MulVar(x, -1)), "x>=5")
+	sol := solveOrDie(t, m, nil)
+	if len(sol.Sensitivities) != 1 {
+		t.Fatalf("sensitivities = %v", sol.Sensitivities)
+	}
+	s := sol.Sensitivities[0]
+	if s.Tag != "x>=5" {
+		t.Fatalf("tag = %q", s.Tag)
+	}
+	if !near(s.Dual, 1, 0.05) {
+		t.Fatalf("binding dual = %v, want ~1", s.Dual)
+	}
+}
+
+func TestSensitivitySlackConstraintNearZero(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x")
+	m.Minimize(Posy(X(x)))
+	m.AddConstraint(Posy(Mon(5).MulVar(x, -1)), "binding")
+	m.AddConstraint(Posy(Mon(0.001).MulVar(x, 1)), "very slack") // x <= 1000
+	sol := solveOrDie(t, m, nil)
+	var binding, slack float64
+	for _, s := range sol.Sensitivities {
+		switch s.Tag {
+		case "binding":
+			binding = s.Dual
+		case "very slack":
+			slack = s.Dual
+		}
+	}
+	if binding < 0.5 {
+		t.Fatalf("binding dual = %v, want large", binding)
+	}
+	if slack > 0.01 {
+		t.Fatalf("slack dual = %v, want near zero", slack)
+	}
+}
+
+// Finite-difference validation: perturb the binding constraint by 1% and
+// compare the objective change against the dual's prediction.
+func TestSensitivityFiniteDifference(t *testing.T) {
+	build := func(relax float64) float64 {
+		m := NewModel()
+		x := m.AddVar("x")
+		y := m.AddVar("y")
+		m.Minimize(Posy(X(x), X(y)))
+		// x*y >= 9, relaxed to 9/(1+relax).
+		m.AddConstraint(Posy(Mon(9/(1+relax)).MulVar(x, -1).MulVar(y, -1)), "xy>=9")
+		m.AddConstraint(Posy(Mon(1).MulVar(x, 1).MulVar(y, -1)), "x<=y")
+		sol, err := m.Solve(nil)
+		if err != nil || sol.Status != StatusOptimal {
+			t.Fatalf("solve failed: %v %v", err, sol)
+		}
+		return sol.Objective
+	}
+	m := NewModel()
+	x := m.AddVar("x")
+	y := m.AddVar("y")
+	m.Minimize(Posy(X(x), X(y)))
+	m.AddConstraint(Posy(Mon(9).MulVar(x, -1).MulVar(y, -1)), "xy>=9")
+	m.AddConstraint(Posy(Mon(1).MulVar(x, 1).MulVar(y, -1)), "x<=y")
+	sol := solveOrDie(t, m, nil)
+	var dual float64
+	for _, s := range sol.Sensitivities {
+		if s.Tag == "xy>=9" {
+			dual = s.Dual
+		}
+	}
+	const h = 0.01
+	f0, f1 := build(0), build(h)
+	// Predicted relative objective change: -dual * relative relaxation.
+	predicted := -dual * h
+	actual := (f1 - f0) / f0
+	if diff := predicted - actual; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("dual prediction %v vs finite difference %v (dual %v)", predicted, actual, dual)
+	}
+}

@@ -1,0 +1,115 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaximizePosynomial maximizes the posynomial g over the model's feasible
+// set. This is a signomial program (maximizing a posynomial is not a GP), so
+// it is solved by monomial condensation — the classic sequential-GP scheme:
+// at the current iterate x, g is replaced by its best local monomial
+// under-approximation
+//
+//	g~(x) = prod_k (m_k(x)/w_k)^{w_k},  w_k = m_k(x̂)/g(x̂),
+//
+// (arithmetic–geometric mean inequality: g~(x) <= g(x) with equality at x̂),
+// and the GP "minimize 1/g~" is solved; the process repeats until the true
+// objective stops improving. The result converges to a KKT point of the
+// signomial program and is monotone non-decreasing in g, so the returned
+// point is never worse than the first feasible iterate.
+//
+// The model's own objective is ignored; constraints and bounds are honoured.
+func (m *Model) MaximizePosynomial(g Posynomial, o *Options) (*Solution, error) {
+	if err := g.validate(len(m.names)); err != nil {
+		return nil, fmt.Errorf("gp: maximize objective: %w", err)
+	}
+	// Find an initial feasible point with a neutral (constant) objective.
+	work := m.shallowClone()
+	work.Minimize(Posynomial{Mon(1)})
+	sol, err := work.Solve(o)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status == StatusInfeasible || sol.X == nil {
+		return sol, nil
+	}
+
+	best := sol
+	bestVal := g.Eval(sol.X)
+	x := sol.X
+	const maxRounds = 40
+	totalIters := sol.Iterations
+	for round := 0; round < maxRounds; round++ {
+		mono, ok := condense(g, x)
+		if !ok {
+			break
+		}
+		work = m.shallowClone()
+		// maximize g~  <=>  minimize g~^{-1} (a monomial, hence GP-valid).
+		work.Minimize(Posynomial{mono.Pow(-1)})
+		s, err := work.Solve(o)
+		if err != nil {
+			return nil, err
+		}
+		totalIters += s.Iterations
+		if s.Status == StatusInfeasible || s.X == nil {
+			break
+		}
+		v := g.Eval(s.X)
+		if math.IsNaN(v) || v <= bestVal*(1+1e-9) {
+			if v > bestVal {
+				bestVal, best, x = v, s, s.X
+			}
+			break
+		}
+		bestVal, best, x = v, s, s.X
+	}
+	out := *best
+	out.Iterations = totalIters
+	out.Objective = bestVal
+	return &out, nil
+}
+
+// condense returns the monomial condensation of g at the positive point x.
+// It reports false if g or any weight is degenerate at x.
+func condense(g Posynomial, x []float64) (Monomial, bool) {
+	total := g.Eval(x)
+	if !(total > 0) || math.IsInf(total, 0) {
+		return Monomial{}, false
+	}
+	logC := 0.0
+	exps := map[int]float64{}
+	for _, mk := range g {
+		w := mk.Eval(x) / total
+		if !(w > 0) {
+			continue // vanishing term contributes nothing
+		}
+		logC += w * (math.Log(mk.Coeff) - math.Log(w))
+		for j, e := range mk.Exps {
+			exps[j] += w * e
+			if exps[j] == 0 {
+				delete(exps, j)
+			}
+		}
+	}
+	c := math.Exp(logC)
+	if !(c > 0) || math.IsInf(c, 0) {
+		return Monomial{}, false
+	}
+	return Monomial{Coeff: c, Exps: exps}, true
+}
+
+// shallowClone copies the model structure (variables, bounds, constraints)
+// but not the objective, so a new objective can be attached per solve.
+func (m *Model) shallowClone() *Model {
+	w := &Model{
+		names: append([]string(nil), m.names...),
+		lo:    append([]float64(nil), m.lo...),
+		hi:    append([]float64(nil), m.hi...),
+		tags:  append([]string(nil), m.tags...),
+	}
+	w.cons = make([]Posynomial, len(m.cons))
+	copy(w.cons, m.cons)
+	return w
+}

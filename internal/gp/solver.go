@@ -1,0 +1,377 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/lal"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means the solver converged to the requested tolerance.
+	StatusOptimal Status = iota
+	// StatusInfeasible means phase I proved no strictly feasible point exists
+	// (up to numerical tolerance).
+	StatusInfeasible
+	// StatusIterationLimit means the Newton budget was exhausted; the
+	// returned point is the best feasible iterate.
+	StatusIterationLimit
+	// StatusNumericalError means a linear solve failed irrecoverably.
+	StatusNumericalError
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusIterationLimit:
+		return "iteration-limit"
+	case StatusNumericalError:
+		return "numerical-error"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution is the result of solving a geometric program.
+type Solution struct {
+	Status     Status
+	X          []float64 // primal point (positive variables), nil if infeasible
+	Objective  float64   // posynomial objective value at X
+	Iterations int       // total Newton iterations across both phases
+	Violation  float64   // max_i log fi(X); <= 0 means feasible
+
+	// Sensitivities are approximate log-log dual multipliers for every
+	// constraint (user constraints first, then the materialized variable
+	// bounds, in compile order): the relative decrease of the optimal
+	// objective per relative relaxation of the constraint. Near-zero values
+	// mark slack constraints; large values mark the binding bottlenecks.
+	Sensitivities []ConstraintSensitivity
+}
+
+// ConstraintSensitivity pairs a constraint tag with its dual multiplier.
+type ConstraintSensitivity struct {
+	Tag  string
+	Dual float64
+}
+
+// Options tunes the interior-point solver. The zero value selects defaults.
+type Options struct {
+	Tol       float64 // barrier duality-gap tolerance (default 1e-9)
+	FeasTol   float64 // strict-feasibility margin for phase I (default 1e-9)
+	MaxNewton int     // total Newton iteration budget (default 600)
+	BarrierMu float64 // barrier parameter multiplier (default 20)
+}
+
+func (o *Options) withDefaults() Options {
+	opt := Options{Tol: 1e-9, FeasTol: 1e-9, MaxNewton: 600, BarrierMu: 20}
+	if o == nil {
+		return opt
+	}
+	if o.Tol > 0 {
+		opt.Tol = o.Tol
+	}
+	if o.FeasTol > 0 {
+		opt.FeasTol = o.FeasTol
+	}
+	if o.MaxNewton > 0 {
+		opt.MaxNewton = o.MaxNewton
+	}
+	if o.BarrierMu > 1 {
+		opt.BarrierMu = o.BarrierMu
+	}
+	return opt
+}
+
+// Solve compiles and solves the model. A non-nil error indicates a malformed
+// model; solver outcomes (infeasibility, iteration limits) are reported via
+// Solution.Status instead.
+func (m *Model) Solve(o *Options) (*Solution, error) {
+	c, err := m.compile()
+	if err != nil {
+		return nil, err
+	}
+	opt := o.withDefaults()
+	t := m.initialPoint()
+	iters := 0
+
+	// Phase I: find a strictly feasible point unless we already have one.
+	if maxConstraint(c, t) >= -opt.FeasTol {
+		feasible, n := phaseOne(c, t, opt)
+		iters += n
+		if !feasible {
+			return &Solution{Status: StatusInfeasible, Iterations: iters, Violation: maxConstraint(c, t)}, nil
+		}
+	}
+
+	// Phase II: barrier path following on the true objective.
+	sol, kappa := phaseTwo(c, t, opt)
+	sol.Iterations += iters
+	// Barrier duals: lambda_i = 1/(kappa * (-Fi(t*))) approximates the
+	// log-space KKT multiplier of constraint i at the central-path point.
+	if kappa > 0 {
+		sol.Sensitivities = make([]ConstraintSensitivity, len(c.cons))
+		for i := range c.cons {
+			fi := c.cons[i].Value(t)
+			dual := 0.0
+			if fi < 0 {
+				dual = 1 / (kappa * (-fi))
+			}
+			sol.Sensitivities[i] = ConstraintSensitivity{Tag: c.tags[i], Dual: dual}
+		}
+	}
+
+	x := make([]float64, c.n)
+	for j := range x {
+		x[j] = math.Exp(t[j])
+	}
+	sol.X = x
+	sol.Objective = m.obj.Eval(x)
+	sol.Violation = maxConstraint(c, t)
+	return sol, nil
+}
+
+// maxConstraint returns max_i Fi(t) (log-space), or -Inf with no constraints.
+func maxConstraint(c *compiled, t lal.Vector) float64 {
+	worst := math.Inf(-1)
+	for i := range c.cons {
+		if v := c.cons[i].Value(t); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// phaseOne minimizes s subject to Fi(t) <= s over (t, s) until s < -FeasTol,
+// mutating t toward a strictly feasible point. It returns whether a strictly
+// feasible point was found and the Newton iterations used.
+func phaseOne(c *compiled, t lal.Vector, opt Options) (bool, int) {
+	n := c.n
+	p := len(c.cons)
+	if p == 0 {
+		return true, 0
+	}
+	s := maxConstraint(c, t) + 1.0
+	fi := lal.NewVector(p)
+	gi := lal.NewVector(n)
+	grad := lal.NewVector(n + 1)
+	scratch := lal.NewVector(n)
+	hess := lal.NewMatrix(n+1, n+1)
+	kappa := 1.0
+	iters := 0
+
+	// psi(t,s) = kappa*s - sum log(s - Fi(t))
+	eval := func(tt lal.Vector, ss float64) (float64, bool) {
+		v := kappa * ss
+		for i := range c.cons {
+			ci := ss - c.cons[i].Value(tt)
+			if ci <= 0 {
+				return 0, false
+			}
+			v -= math.Log(ci)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		return v, true
+	}
+
+	tTrial := lal.NewVector(n)
+	for outer := 0; outer < 64; outer++ {
+		for inner := 0; inner < 80; inner++ {
+			if iters >= opt.MaxNewton {
+				return maxConstraint(c, t) < -opt.FeasTol, iters
+			}
+			iters++
+			// Assemble gradient and Hessian at (t, s).
+			grad.Zero()
+			hess.Zero()
+			grad[n] = kappa
+			for i := range c.cons {
+				fi[i] = c.cons[i].Value(t) // refresh weights
+				ci := s - fi[i]
+				inv := 1 / ci
+				c.cons[i].Grad(gi)
+				// Gradient of -log(s - Fi): (inv * gradFi, -inv).
+				for j := 0; j < n; j++ {
+					grad[j] += inv * gi[j]
+				}
+				grad[n] -= inv
+				// Hessian: inv^2 * (gradFi,-1)(gradFi,-1)ᵀ + inv * hess Fi.
+				u := lal.NewVector(n + 1)
+				copy(u, gi)
+				u[n] = -1
+				hess.AddOuterScaled(inv*inv, u)
+				addHessTopLeft(hess, &c.cons[i], inv, scratch, n)
+			}
+			d, ok := lal.SolveSPD(hess, grad)
+			if !ok {
+				return maxConstraint(c, t) < -opt.FeasTol, iters
+			}
+			d.Scale(-1)
+			lambda2 := -grad.Dot(d)
+			if lambda2/2 < 1e-10 {
+				break
+			}
+			// Backtracking line search on psi.
+			f0, _ := eval(t, s)
+			alpha := 1.0
+			improved := false
+			for ls := 0; ls < 60; ls++ {
+				for j := 0; j < n; j++ {
+					tTrial[j] = t[j] + alpha*d[j]
+				}
+				sTrial := s + alpha*d[n]
+				if v, okv := eval(tTrial, sTrial); okv && v <= f0-1e-4*alpha*lambda2 {
+					t.CopyFrom(tTrial)
+					s = sTrial
+					improved = true
+					break
+				}
+				alpha *= 0.5
+			}
+			if !improved {
+				break
+			}
+			if maxConstraint(c, t) < -10*opt.FeasTol {
+				return true, iters // strictly feasible, done early
+			}
+		}
+		if maxConstraint(c, t) < -10*opt.FeasTol {
+			return true, iters
+		}
+		if float64(p)/kappa < opt.Tol {
+			break
+		}
+		kappa *= opt.BarrierMu
+	}
+	return maxConstraint(c, t) < -opt.FeasTol, iters
+}
+
+// addHessTopLeft accumulates alpha * hess Fi(t) into the top-left n×n block
+// of the (n+1)×(n+1) matrix h, using the weights cached in f.
+func addHessTopLeft(h *lal.Matrix, f *logSumExp, alpha float64, scratch lal.Vector, n int) {
+	scratch.Zero()
+	for k := range f.a {
+		wk := f.w[k]
+		if wk == 0 {
+			continue
+		}
+		ak := f.a[k]
+		for i := 0; i < n; i++ {
+			ai := alpha * wk * ak[i]
+			if ai == 0 {
+				continue
+			}
+			row := h.Row(i)
+			for j := 0; j < n; j++ {
+				row[j] += ai * ak[j]
+			}
+		}
+		scratch.AddScaled(wk, ak)
+	}
+	for i := 0; i < n; i++ {
+		si := -alpha * scratch[i]
+		if si == 0 {
+			continue
+		}
+		row := h.Row(i)
+		for j := 0; j < n; j++ {
+			row[j] += si * scratch[j]
+		}
+	}
+}
+
+// phaseTwo runs the barrier method from a strictly feasible t, mutating t to
+// the optimum. It also returns the final barrier parameter kappa, from which
+// approximate dual multipliers are recovered.
+func phaseTwo(c *compiled, t lal.Vector, opt Options) (*Solution, float64) {
+	n := c.n
+	p := len(c.cons)
+	grad := lal.NewVector(n)
+	gi := lal.NewVector(n)
+	scratch := lal.NewVector(n)
+	hess := lal.NewMatrix(n, n)
+	tTrial := lal.NewVector(n)
+	kappa := 1.0
+	iters := 0
+
+	// psi(t) = kappa*F0(t) - sum log(-Fi(t))
+	eval := func(tt lal.Vector) (float64, bool) {
+		v := kappa * c.obj.Value(tt)
+		for i := range c.cons {
+			ci := -c.cons[i].Value(tt)
+			if ci <= 0 {
+				return 0, false
+			}
+			v -= math.Log(ci)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		return v, true
+	}
+
+	status := StatusOptimal
+	for outer := 0; ; outer++ {
+		for inner := 0; inner < 100; inner++ {
+			if iters >= opt.MaxNewton {
+				return &Solution{Status: StatusIterationLimit, Iterations: iters}, kappa
+			}
+			iters++
+			grad.Zero()
+			hess.Zero()
+			c.obj.Value(t) // refresh objective weights
+			c.obj.AddGrad(grad, kappa)
+			c.obj.AddHess(hess, kappa, scratch)
+			for i := range c.cons {
+				fiv := c.cons[i].Value(t)
+				inv := 1 / (-fiv)
+				c.cons[i].Grad(gi)
+				grad.AddScaled(inv, gi)
+				hess.AddOuterScaled(inv*inv, gi)
+				c.cons[i].AddHess(hess, inv, scratch)
+			}
+			d, ok := lal.SolveSPD(hess, grad)
+			if !ok {
+				return &Solution{Status: StatusNumericalError, Iterations: iters}, kappa
+			}
+			d.Scale(-1)
+			lambda2 := -grad.Dot(d)
+			if lambda2/2 < 1e-11 {
+				break
+			}
+			f0, _ := eval(t)
+			alpha := 1.0
+			improved := false
+			for ls := 0; ls < 60; ls++ {
+				tTrial.CopyFrom(t)
+				tTrial.AddScaled(alpha, d)
+				if v, okv := eval(tTrial); okv && v <= f0-1e-4*alpha*lambda2 {
+					t.CopyFrom(tTrial)
+					improved = true
+					break
+				}
+				alpha *= 0.5
+			}
+			if !improved {
+				break
+			}
+		}
+		if p == 0 || float64(p)/kappa < opt.Tol {
+			break
+		}
+		kappa *= opt.BarrierMu
+		if outer > 64 {
+			status = StatusIterationLimit
+			break
+		}
+	}
+	return &Solution{Status: status, Iterations: iters}, kappa
+}

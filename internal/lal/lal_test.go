@@ -1,0 +1,329 @@
+package lal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(3)
+	if len(v) != 3 {
+		t.Fatalf("NewVector length = %d, want 3", len(v))
+	}
+	v[0], v[1], v[2] = 1, 2, 3
+	w := v.Clone()
+	w[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+	if got := v.Dot(Vector{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := v.Sum(); got != 6 {
+		t.Fatalf("Sum = %v, want 6", got)
+	}
+	if got := v.Max(); got != 3 {
+		t.Fatalf("Max = %v, want 3", got)
+	}
+	if got := v.Min(); got != 1 {
+		t.Fatalf("Min = %v, want 1", got)
+	}
+	v.AddScaled(2, Vector{1, 1, 1})
+	if v[0] != 3 || v[1] != 4 || v[2] != 5 {
+		t.Fatalf("AddScaled = %v", v)
+	}
+	v.Scale(2)
+	if v[2] != 10 {
+		t.Fatalf("Scale = %v", v)
+	}
+	v.Fill(7)
+	if v[0] != 7 || v[2] != 7 {
+		t.Fatalf("Fill = %v", v)
+	}
+	v.Zero()
+	if v.NormInf() != 0 {
+		t.Fatalf("Zero left %v", v)
+	}
+}
+
+func TestVectorNorm2(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Norm2(); !almostEq(got, 5, 1e-14) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	// Overflow guard: naive sum of squares would overflow here.
+	big := Vector{1e200, 1e200}
+	if got := big.Norm2(); math.IsInf(got, 0) || !almostEq(got, 1e200*math.Sqrt2, 1e-12) {
+		t.Fatalf("Norm2 big = %v", got)
+	}
+	empty := Vector{}
+	if got := empty.Norm2(); got != 0 {
+		t.Fatalf("Norm2 empty = %v, want 0", got)
+	}
+}
+
+func TestVectorHasNaN(t *testing.T) {
+	clean := Vector{1, 2, 3}
+	if clean.HasNaN() {
+		t.Fatal("clean vector reported NaN")
+	}
+	withNaN := Vector{1, math.NaN()}
+	if !withNaN.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+	withInf := Vector{math.Inf(1)}
+	if !withInf.HasNaN() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestVectorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Dot", func() { Vector{1}.Dot(Vector{1, 2}) })
+	mustPanic("AddScaled", func() { Vector{1}.AddScaled(1, Vector{1, 2}) })
+	mustPanic("CopyFrom", func() { Vector{1}.CopyFrom(Vector{1, 2}) })
+	mustPanic("MaxEmpty", func() { Vector{}.Max() })
+	mustPanic("MinEmpty", func() { Vector{}.Min() })
+}
+
+func TestMatrixBasics(t *testing.T) {
+	a := NewMatrix(2, 3)
+	a.Set(0, 0, 1)
+	a.Set(0, 2, 2)
+	a.Set(1, 1, 3)
+	if a.At(0, 2) != 2 || a.At(1, 1) != 3 {
+		t.Fatal("Set/At mismatch")
+	}
+	a.Add(1, 1, 1)
+	if a.At(1, 1) != 4 {
+		t.Fatal("Add mismatch")
+	}
+	row := a.Row(1)
+	row[0] = 9
+	if a.At(1, 0) != 9 {
+		t.Fatal("Row should be a view")
+	}
+	b := a.Clone()
+	b.Set(0, 0, 100)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone aliases")
+	}
+	a.Zero()
+	if a.At(1, 1) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrix(2, 3)
+	// [1 2 3; 4 5 6]
+	for j := 0; j < 3; j++ {
+		a.Set(0, j, float64(j+1))
+		a.Set(1, j, float64(j+4))
+	}
+	x := Vector{1, 1, 1}
+	dst := NewVector(2)
+	a.MulVec(dst, x)
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MulVec = %v", dst)
+	}
+	y := Vector{1, 2}
+	dt := NewVector(3)
+	a.MulTransVec(dt, y)
+	if dt[0] != 9 || dt[1] != 12 || dt[2] != 15 {
+		t.Fatalf("MulTransVec = %v", dt)
+	}
+}
+
+func TestAddOuterScaledAndDiag(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.AddOuterScaled(2, Vector{1, 3})
+	// 2*[1;3][1 3] = [2 6; 6 18]
+	if a.At(0, 0) != 2 || a.At(0, 1) != 6 || a.At(1, 0) != 6 || a.At(1, 1) != 18 {
+		t.Fatalf("AddOuterScaled = %+v", a.Data)
+	}
+	a.AddDiag(1)
+	if a.At(0, 0) != 3 || a.At(1, 1) != 19 {
+		t.Fatalf("AddDiag = %+v", a.Data)
+	}
+	if got := a.MaxAbsDiag(); got != 19 {
+		t.Fatalf("MaxAbsDiag = %v", got)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [4 2; 2 3], L = [2 0; 1 sqrt2].
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	if !a.Cholesky() {
+		t.Fatal("Cholesky failed on SPD matrix")
+	}
+	if !almostEq(a.At(0, 0), 2, 1e-14) || !almostEq(a.At(1, 0), 1, 1e-14) ||
+		!almostEq(a.At(1, 1), math.Sqrt2, 1e-14) || a.At(0, 1) != 0 {
+		t.Fatalf("Cholesky factor = %+v", a.Data)
+	}
+}
+
+func TestCholeskyIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if a.Cholesky() {
+		t.Fatal("Cholesky succeeded on indefinite matrix")
+	}
+}
+
+// randomSPD builds A = Bᵀ B + n*I which is symmetric positive definite.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b.At(k, i) * b.At(k, j)
+			}
+			a.Set(i, j, s)
+		}
+	}
+	a.AddDiag(float64(n))
+	return a
+}
+
+func TestSolveSPDRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		xTrue := NewVector(n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := NewVector(n)
+		a.MulVec(b, xTrue)
+		x, ok := SolveSPD(a, b)
+		if !ok {
+			t.Fatalf("trial %d: SolveSPD failed", trial)
+		}
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-8) {
+				t.Fatalf("trial %d: x[%d]=%v want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestSolveSPDRegularizes(t *testing.T) {
+	// Singular PSD matrix: SolveSPD should still return something finite
+	// thanks to the regularisation fallback.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	x, ok := SolveSPD(a, Vector{1, 1})
+	if !ok {
+		t.Fatal("SolveSPD gave up on a singular PSD matrix")
+	}
+	if x.HasNaN() {
+		t.Fatalf("SolveSPD returned non-finite %v", x)
+	}
+}
+
+// Property: Cholesky round trip L*Lᵀ reproduces the original matrix.
+func TestCholeskyRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := randomSPD(r, n)
+		l := a.Clone()
+		if !l.Cholesky() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				var s float64
+				for k := 0; k <= j; k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if !almostEq(s, a.At(i, j), 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveSPD residual ||Ax-b|| is tiny relative to ||b||.
+func TestSolveSPDResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randomSPD(r, n)
+		b := NewVector(n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, ok := SolveSPD(a, b)
+		if !ok {
+			return false
+		}
+		res := NewVector(n)
+		a.MulVec(res, x)
+		res.AddScaled(-1, b)
+		return res.Norm2() <= 1e-8*(1+b.Norm2())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	a := NewMatrix(2, 3)
+	mustPanic("MulVec", func() { a.MulVec(NewVector(2), NewVector(2)) })
+	mustPanic("MulTransVec", func() { a.MulTransVec(NewVector(2), NewVector(2)) })
+	mustPanic("CholeskyNonSquare", func() { a.Cholesky() })
+	mustPanic("AddOuterScaled", func() { a.AddOuterScaled(1, NewVector(2)) })
+	mustPanic("NewMatrixNegative", func() { NewMatrix(-1, 2) })
+	sq := NewMatrix(2, 2)
+	mustPanic("SolveCholeskyLen", func() { sq.SolveCholesky(NewVector(3)) })
+	mustPanic("SolveSPDShape", func() { SolveSPD(a, NewVector(2)) })
+}

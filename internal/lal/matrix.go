@@ -1,0 +1,224 @@
+package lal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major n×m matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, element (i,j) at Data[i*Cols+j]
+}
+
+// NewMatrix returns a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("lal: NewMatrix negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i,j).
+func (a *Matrix) At(i, j int) float64 { return a.Data[i*a.Cols+j] }
+
+// Set assigns element (i,j).
+func (a *Matrix) Set(i, j int, x float64) { a.Data[i*a.Cols+j] = x }
+
+// Add increments element (i,j) by x.
+func (a *Matrix) Add(i, j int, x float64) { a.Data[i*a.Cols+j] += x }
+
+// Row returns a view (not a copy) of row i.
+func (a *Matrix) Row(i int) Vector { return Vector(a.Data[i*a.Cols : (i+1)*a.Cols]) }
+
+// Clone returns a deep copy of a.
+func (a *Matrix) Clone() *Matrix {
+	b := NewMatrix(a.Rows, a.Cols)
+	copy(b.Data, a.Data)
+	return b
+}
+
+// Zero sets all elements of a to 0.
+func (a *Matrix) Zero() {
+	for i := range a.Data {
+		a.Data[i] = 0
+	}
+}
+
+// MulVec computes dst = A*x. dst must have length A.Rows and x length A.Cols.
+func (a *Matrix) MulVec(dst, x Vector) {
+	if len(x) != a.Cols || len(dst) != a.Rows {
+		panic(fmt.Sprintf("lal: MulVec shape mismatch A=%dx%d x=%d dst=%d", a.Rows, a.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulTransVec computes dst = Aᵀ*x. dst must have length A.Cols and x length A.Rows.
+func (a *Matrix) MulTransVec(dst, x Vector) {
+	if len(x) != a.Rows || len(dst) != a.Cols {
+		panic(fmt.Sprintf("lal: MulTransVec shape mismatch A=%dx%d x=%d dst=%d", a.Rows, a.Cols, len(x), len(dst)))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			dst[j] += v * xi
+		}
+	}
+}
+
+// AddOuterScaled computes A += alpha * u*uᵀ for a square symmetric update.
+// A must be len(u)×len(u).
+func (a *Matrix) AddOuterScaled(alpha float64, u Vector) {
+	n := len(u)
+	if a.Rows != n || a.Cols != n {
+		panic(fmt.Sprintf("lal: AddOuterScaled shape mismatch A=%dx%d u=%d", a.Rows, a.Cols, n))
+	}
+	for i := 0; i < n; i++ {
+		ui := alpha * u[i]
+		if ui == 0 {
+			continue
+		}
+		row := a.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] += ui * u[j]
+		}
+	}
+}
+
+// AddDiag computes A += alpha*I.
+func (a *Matrix) AddDiag(alpha float64) {
+	n := a.Rows
+	if a.Cols < n {
+		n = a.Cols
+	}
+	for i := 0; i < n; i++ {
+		a.Data[i*a.Cols+i] += alpha
+	}
+}
+
+// MaxAbsDiag returns the largest absolute diagonal entry (0 for empty).
+func (a *Matrix) MaxAbsDiag() float64 {
+	n := a.Rows
+	if a.Cols < n {
+		n = a.Cols
+	}
+	var m float64
+	for i := 0; i < n; i++ {
+		if v := math.Abs(a.Data[i*a.Cols+i]); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Cholesky computes in place the lower-triangular Cholesky factor L of the
+// symmetric positive-definite matrix A (only the lower triangle of A is
+// read), so that L*Lᵀ = A. It returns false if A is not (numerically)
+// positive definite; in that case the matrix contents are undefined.
+func (a *Matrix) Cholesky() bool {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("lal: Cholesky of non-square %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := a.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return false
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s*inv)
+		}
+	}
+	// Zero the strict upper triangle so the factor is clean.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return true
+}
+
+// SolveCholesky solves L*Lᵀ*x = b in place given the Cholesky factor L
+// (as produced by Cholesky). b is overwritten with the solution.
+func (a *Matrix) SolveCholesky(b Vector) {
+	n := a.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("lal: SolveCholesky length mismatch n=%d b=%d", n, len(b)))
+	}
+	// Forward solve L*y = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := a.Data[i*n : i*n+i]
+		for k, v := range row {
+			s -= v * b[k]
+		}
+		b[i] = s / a.At(i, i)
+	}
+	// Back solve Lᵀ*x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= a.At(k, i) * b[k]
+		}
+		b[i] = s / a.At(i, i)
+	}
+}
+
+// SolveSPD solves A*x = b for a symmetric positive-definite A, using a
+// Cholesky factorisation with diagonal regularisation fallback: if the
+// factorisation fails, a multiple of the identity proportional to the
+// diagonal magnitude is added until it succeeds. It returns the solution
+// (a fresh vector) and false only if even heavy regularisation fails.
+// A is not modified.
+func SolveSPD(a *Matrix, b Vector) (Vector, bool) {
+	if a.Rows != a.Cols || len(b) != a.Rows {
+		panic(fmt.Sprintf("lal: SolveSPD shape mismatch A=%dx%d b=%d", a.Rows, a.Cols, len(b)))
+	}
+	base := a.MaxAbsDiag()
+	if base == 0 {
+		base = 1
+	}
+	reg := 0.0
+	for attempt := 0; attempt < 12; attempt++ {
+		w := a.Clone()
+		if reg > 0 {
+			w.AddDiag(reg)
+		}
+		if w.Cholesky() {
+			x := b.Clone()
+			w.SolveCholesky(x)
+			if !x.HasNaN() {
+				return x, true
+			}
+		}
+		if reg == 0 {
+			reg = base * 1e-12
+		} else {
+			reg *= 100
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,199 @@
+// Package partition implements multicore partitioning heuristics for the
+// real-time tasks (Davis & Burns survey [13]): first-fit, best-fit,
+// worst-fit and next-fit over decreasing-utilization task order, each with
+// exact response-time-analysis admission on every core. The paper's
+// evaluation partitions real-time tasks with best-fit (Sec. IV-B).
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"hydra/internal/rts"
+)
+
+// Heuristic selects a bin-packing rule.
+type Heuristic int
+
+const (
+	// FirstFit assigns each task to the lowest-indexed core that admits it.
+	FirstFit Heuristic = iota
+	// BestFit assigns to the admitting core with the least remaining
+	// capacity (highest utilization) — the paper's choice.
+	BestFit
+	// WorstFit assigns to the admitting core with the most remaining capacity.
+	WorstFit
+	// NextFit keeps a moving current core, advancing (cyclically, one lap)
+	// when the task does not fit.
+	NextFit
+)
+
+// String implements fmt.Stringer.
+func (h Heuristic) String() string {
+	switch h {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	case NextFit:
+		return "next-fit"
+	default:
+		return fmt.Sprintf("heuristic(%d)", int(h))
+	}
+}
+
+// ErrUnschedulable is returned when no admissible partition is found.
+var ErrUnschedulable = errors.New("partition: no core can admit a task")
+
+// Partition maps every real-time task to a core.
+type Partition struct {
+	M      int   // number of cores
+	CoreOf []int // task index (in the input order) -> core index
+}
+
+// Cores groups the tasks by core, preserving input order within a core.
+func (p *Partition) Cores(tasks []rts.RTTask) [][]rts.RTTask {
+	out := make([][]rts.RTTask, p.M)
+	for i, c := range p.CoreOf {
+		out[c] = append(out[c], tasks[i])
+	}
+	return out
+}
+
+// Loads returns the Eq. 5 load aggregates (sum C, sum U) per core.
+func (p *Partition) Loads(tasks []rts.RTTask) []rts.CoreLoad {
+	loads := make([]rts.CoreLoad, p.M)
+	for i, c := range p.CoreOf {
+		loads[c].AddRT(tasks[i])
+	}
+	return loads
+}
+
+// Utilizations returns per-core total utilization.
+func (p *Partition) Utilizations(tasks []rts.RTTask) []float64 {
+	u := make([]float64, p.M)
+	for i, c := range p.CoreOf {
+		u[c] += tasks[i].Utilization()
+	}
+	return u
+}
+
+// PartitionRT partitions the real-time tasks onto m cores with the given
+// heuristic. Tasks are considered in decreasing-utilization order (the
+// standard companion ordering for these heuristics) and each placement is
+// admitted only if the destination core remains schedulable under exact RTA.
+// The returned partition indexes tasks in their *input* order.
+func PartitionRT(tasks []rts.RTTask, m int, h Heuristic) (*Partition, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("partition: need at least one core, got %d", m)
+	}
+	for i := range tasks {
+		if err := tasks[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	// Decreasing utilization; ties by input index for determinism.
+	sortByUtilDesc(order, tasks)
+
+	perCore := make([][]rts.RTTask, m)
+	util := make([]float64, m)
+	coreOf := make([]int, len(tasks))
+	next := 0 // NextFit cursor
+	for _, ti := range order {
+		task := tasks[ti]
+		chosen := -1
+		switch h {
+		case FirstFit:
+			for c := 0; c < m; c++ {
+				if admits(perCore[c], task) {
+					chosen = c
+					break
+				}
+			}
+		case BestFit:
+			bestU := -1.0
+			for c := 0; c < m; c++ {
+				if admits(perCore[c], task) && util[c] > bestU {
+					bestU = util[c]
+					chosen = c
+				}
+			}
+		case WorstFit:
+			bestU := 2.0
+			for c := 0; c < m; c++ {
+				if admits(perCore[c], task) && util[c] < bestU {
+					bestU = util[c]
+					chosen = c
+				}
+			}
+		case NextFit:
+			for tries := 0; tries < m; tries++ {
+				c := (next + tries) % m
+				if admits(perCore[c], task) {
+					chosen = c
+					next = c
+					break
+				}
+			}
+		default:
+			return nil, fmt.Errorf("partition: unknown heuristic %v", h)
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("%w: task %q (U=%.3f) on %d cores with %v",
+				ErrUnschedulable, task.Name, task.Utilization(), m, h)
+		}
+		perCore[chosen] = append(perCore[chosen], task)
+		util[chosen] += task.Utilization()
+		coreOf[ti] = chosen
+	}
+	return &Partition{M: m, CoreOf: coreOf}, nil
+}
+
+// admits reports whether adding task to the core keeps it RTA-schedulable.
+func admits(core []rts.RTTask, task rts.RTTask) bool {
+	trial := make([]rts.RTTask, 0, len(core)+1)
+	trial = append(trial, core...)
+	trial = append(trial, task)
+	return rts.CoreSchedulable(trial)
+}
+
+// sortByUtilDesc sorts the index slice by decreasing task utilization,
+// breaking ties by index (stable, deterministic).
+func sortByUtilDesc(order []int, tasks []rts.RTTask) {
+	// Insertion sort keeps the dependency surface minimal and is plenty fast
+	// for the taskset sizes of the paper's evaluation (<= 10M tasks).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			ua, ub := tasks[a].Utilization(), tasks[b].Utilization()
+			if ua > ub || (ua == ub && a < b) {
+				break
+			}
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+}
+
+// Validate checks internal consistency of a partition against a taskset.
+func (p *Partition) Validate(tasks []rts.RTTask) error {
+	if len(p.CoreOf) != len(tasks) {
+		return fmt.Errorf("partition: covers %d tasks, taskset has %d", len(p.CoreOf), len(tasks))
+	}
+	for i, c := range p.CoreOf {
+		if c < 0 || c >= p.M {
+			return fmt.Errorf("partition: task %d assigned to invalid core %d of %d", i, c, p.M)
+		}
+	}
+	for c, core := range p.Cores(tasks) {
+		if !rts.CoreSchedulable(core) {
+			return fmt.Errorf("partition: core %d is not schedulable", c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package rts
+
+import "math"
+
+// HyperbolicBoundHolds applies Bini & Buttazzo's hyperbolic bound for
+// rate-monotonic schedulability on one core: the taskset is schedulable if
+//
+//	prod_i (U_i + 1) <= 2.
+//
+// It is uniformly tighter than the Liu-Layland utilization bound and, like
+// it, sufficient but not necessary.
+func HyperbolicBoundHolds(tasks []RTTask) bool {
+	p := 1.0
+	for _, t := range tasks {
+		p *= t.Utilization() + 1
+	}
+	return p <= 2+1e-12
+}
+
+// Hyperperiod returns the least common multiple of the task periods, the
+// cycle after which a synchronous periodic schedule repeats. Periods are
+// interpreted at the given resolution (e.g. 1.0 = millisecond, 0.1 = tenth
+// of a millisecond); non-representable periods or an overflowing LCM return
+// ok = false.
+func Hyperperiod(tasks []RTTask, resolution Time) (Time, bool) {
+	if resolution <= 0 || len(tasks) == 0 {
+		return 0, false
+	}
+	lcm := uint64(1)
+	const limit = uint64(1) << 53 // stay exactly representable in float64
+	for _, t := range tasks {
+		scaled := t.T / resolution
+		n := math.Round(scaled)
+		if n < 1 || math.Abs(scaled-n) > 1e-9*scaled {
+			return 0, false // period not representable at this resolution
+		}
+		g := gcd(lcm, uint64(n))
+		step := lcm / g
+		if uint64(n) != 0 && step > limit/uint64(n) {
+			return 0, false // overflow
+		}
+		lcm = step * uint64(n)
+	}
+	return Time(lcm) * resolution, true
+}
+
+// gcd is the binary-free Euclid on uint64.
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// BusyPeriod returns the length of the level-n synchronous busy period of
+// the taskset on one core — the first instant L > 0 with
+//
+//	L = sum_i ceil(L/T_i) * C_i,
+//
+// which bounds how far job interactions reach. ok is false if the taskset
+// over-utilizes the core (the busy period diverges) or the fixed point does
+// not settle within the iteration budget.
+func BusyPeriod(tasks []RTTask) (Time, bool) {
+	if len(tasks) == 0 {
+		return 0, true
+	}
+	if TotalRTUtilization(tasks) > 1 {
+		return 0, false
+	}
+	var l Time
+	for _, t := range tasks {
+		l += t.C
+	}
+	for iter := 0; iter < 100000; iter++ {
+		var next Time
+		for _, t := range tasks {
+			next += math.Ceil(l/t.T) * t.C
+		}
+		if next == l {
+			return l, true
+		}
+		l = next
+	}
+	return l, false
+}
+
+// ResponseTimeWithJitterBlocking extends the exact RTA with release jitter
+// per interferer and a blocking term (for non-preemptive lower-priority
+// sections):
+//
+//	R = c + b + sum_h ceil((R + J_h)/T_h) * C_h,
+//
+// returning R (measured from release, excluding the task's own jitter) and
+// whether R <= d.
+type JitteredTask struct {
+	C, T, J Time
+}
+
+// ResponseTimeWithJitterBlocking computes the fixed point described above.
+func ResponseTimeWithJitterBlocking(c, b, d Time, hp []JitteredTask) (Time, bool) {
+	r := c + b
+	for iter := 0; iter < 100000; iter++ {
+		next := c + b
+		for _, h := range hp {
+			next += math.Ceil((r+h.J)/h.T) * h.C
+		}
+		if next == r {
+			return r, r <= d
+		}
+		if next > d {
+			return next, false
+		}
+		r = next
+	}
+	return r, false
+}

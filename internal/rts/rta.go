@@ -1,0 +1,95 @@
+package rts
+
+import "math"
+
+// ResponseTime computes the exact worst-case response time of a task with
+// WCET c and deadline d, suffering preemption from the higher-priority tasks
+// hp (each contributing ceil(R/T)*C), by the standard fixed-point iteration
+// of Audsley et al. [16]. It returns the response time and true when the
+// iteration converges with R <= d; otherwise it returns the last iterate and
+// false.
+func ResponseTime(c Time, d Time, hp []RTTask) (Time, bool) {
+	r := c
+	for iter := 0; iter < 10000; iter++ {
+		next := c
+		for _, h := range hp {
+			next += math.Ceil(r/h.T) * h.C
+		}
+		if next == r {
+			return r, r <= d
+		}
+		if next > d {
+			return next, false
+		}
+		r = next
+	}
+	return r, false
+}
+
+// CoreSchedulable reports whether the given real-time tasks, all assigned to
+// one core and listed in any order, are schedulable under preemptive fixed
+// priorities with rate-monotonic ordering. It runs exact RTA top-down.
+func CoreSchedulable(tasks []RTTask) bool {
+	if len(tasks) == 0 {
+		return true
+	}
+	sorted := append([]RTTask(nil), tasks...)
+	SortRateMonotonic(sorted)
+	for i, t := range sorted {
+		if _, ok := ResponseTime(t.C, t.D, sorted[:i]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// LiuLaylandBound returns the classic utilization bound n(2^{1/n}-1) for n
+// tasks; any RM taskset with utilization at or below it is schedulable [14].
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	fn := float64(n)
+	return fn * (math.Pow(2, 1/fn) - 1)
+}
+
+// CoreLoad aggregates the quantities that appear in the linear interference
+// bound of Eq. (5) for one core: the sum of WCETs and the sum of utilizations
+// of the tasks already on the core.
+type CoreLoad struct {
+	SumC Time    // sum of WCETs: the constant part of (1 + Ts/Tr)*Cr
+	SumU float64 // sum of C/T: the slope part
+}
+
+// AddRT accumulates a real-time task into the load.
+func (l *CoreLoad) AddRT(t RTTask) {
+	l.SumC += t.C
+	l.SumU += t.Utilization()
+}
+
+// AddPeriodic accumulates any periodic interferer (e.g. a committed security
+// task with chosen period).
+func (l *CoreLoad) AddPeriodic(c, period Time) {
+	l.SumC += c
+	l.SumU += c / period
+}
+
+// LinearInterference evaluates the paper's Eq. (5) upper bound on the
+// interference suffered by a security task with period ts:
+//
+//	I = sum (1 + ts/T) * C  =  SumC + ts*SumU.
+func (l CoreLoad) LinearInterference(ts Time) Time {
+	return l.SumC + ts*l.SumU
+}
+
+// MinFeasiblePeriod returns the smallest period ts satisfying the
+// schedulability constraint of Eq. (6), c + SumC + ts*SumU <= ts, i.e.
+// ts >= (c + SumC) / (1 - SumU). It returns +Inf when SumU >= 1 (no period
+// can absorb the interference).
+func (l CoreLoad) MinFeasiblePeriod(c Time) Time {
+	slack := 1 - l.SumU
+	if slack <= 0 {
+		return math.Inf(1)
+	}
+	return (c + l.SumC) / slack
+}

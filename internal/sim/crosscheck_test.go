@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hydra/internal/rts"
+)
+
+// Cross-validation between the simulator and the analytical models in
+// internal/rts: the simulated synchronous (offset-0) schedule must never
+// exceed the exact response-time-analysis bound, and at the critical instant
+// the first job of the lowest-priority task must achieve it exactly.
+
+func TestSimMatchesRTAAtCriticalInstant(t *testing.T) {
+	tasks := []rts.RTTask{
+		rts.NewRTTask("t1", 1, 4),
+		rts.NewRTTask("t2", 2, 6),
+		rts.NewRTTask("t3", 3, 12),
+	}
+	specs := make([]TaskSpec, len(tasks))
+	for i, task := range tasks {
+		specs[i] = TaskSpec{Name: task.Name, C: task.C, T: task.T, Prio: i}
+	}
+	tr, err := SimulateCore(specs, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range tasks {
+		bound, ok := rts.ResponseTime(task.C, task.D, tasks[:i])
+		if !ok {
+			t.Fatalf("task %d not schedulable analytically", i)
+		}
+		first := tr.JobsOf(i)[0]
+		if first.ResponseTime() != bound {
+			t.Fatalf("task %d: first-job response %v != RTA bound %v", i, first.ResponseTime(), bound)
+		}
+		if worst := tr.MaxObservedResponse(i); worst > bound+1e-9 {
+			t.Fatalf("task %d: observed worst %v exceeds RTA bound %v", i, worst, bound)
+		}
+	}
+}
+
+// Property: for random schedulable synchronous tasksets, every simulated
+// response time is bounded by the RTA worst case, and the first job hits it.
+func TestSimNeverExceedsRTAProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		tasks := make([]rts.RTTask, n)
+		for i := range tasks {
+			period := 10 + 190*rng.Float64()
+			u := 0.05 + 0.15*rng.Float64()
+			tasks[i] = rts.NewRTTask("t", u*period, period)
+		}
+		rts.SortRateMonotonic(tasks)
+		if !rts.CoreSchedulable(tasks) {
+			return true
+		}
+		specs := make([]TaskSpec, n)
+		for i, task := range tasks {
+			specs[i] = TaskSpec{Name: task.Name, C: task.C, T: task.T, Prio: i}
+		}
+		tr, err := SimulateCore(specs, 2000)
+		if err != nil {
+			return false
+		}
+		for i, task := range tasks {
+			bound, ok := rts.ResponseTime(task.C, task.D, tasks[:i])
+			if !ok {
+				return false
+			}
+			if worst := tr.MaxObservedResponse(i); worst > bound+1e-6 {
+				return false
+			}
+			first := tr.JobsOf(i)[0]
+			if first.Finish >= 0 && first.ResponseTime() > bound+1e-6 {
+				return false
+			}
+		}
+		return tr.Misses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponseTimesHelper(t *testing.T) {
+	specs := []TaskSpec{{Name: "a", C: 2, T: 10, Prio: 0}}
+	tr, err := SimulateCore(specs, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := tr.ResponseTimes(0)
+	if len(rs) != 4 {
+		t.Fatalf("response times = %v", rs)
+	}
+	for _, r := range rs {
+		if r != 2 {
+			t.Fatalf("response = %v, want 2", r)
+		}
+	}
+	if tr.MaxObservedResponse(0) != 2 {
+		t.Fatalf("max observed = %v", tr.MaxObservedResponse(0))
+	}
+	if tr.MaxObservedResponse(99) != -1 {
+		t.Fatal("unknown task must return -1")
+	}
+}

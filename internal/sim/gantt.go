@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// GanttOptions controls the text timeline rendering.
+type GanttOptions struct {
+	From, To Time // window to render; To <= 0 means the trace horizon
+	Width    int  // characters across the window; default 100
+}
+
+// WriteGantt renders a per-task text timeline of the core's schedule:
+// one row per task, '#' where the task is executing, '.' where it is
+// released-but-waiting, and spaces when inactive. Execution intervals are
+// reconstructed from job (Start, Finish, Preemptions) conservatively: a
+// preempted job's busy time is drawn from its start to its finish minus the
+// idle gaps that belong to higher-priority rows, so overlapping '#' cells
+// between rows can occur only for preempted jobs — the renderer is a
+// human-inspection aid, not an analysis tool.
+func (tr *CoreTrace) WriteGantt(w io.Writer, opt GanttOptions) error {
+	width := opt.Width
+	if width <= 0 {
+		width = 100
+	}
+	from := opt.From
+	to := opt.To
+	if to <= 0 || to > tr.Horizon {
+		to = tr.Horizon
+	}
+	if !(to > from) {
+		return fmt.Errorf("sim: empty gantt window [%g, %g)", from, to)
+	}
+	scale := float64(width) / (to - from)
+	cell := func(t Time) int {
+		c := int((t - from) * scale)
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	// Longest name for alignment.
+	nameW := 4
+	for _, s := range tr.Specs {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+
+	header := fmt.Sprintf("%-*s |%s| t=[%.0f, %.0f) ms", nameW, "task", strings.Repeat("-", width), from, to)
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+
+	// Jobs per task sorted by release.
+	jobsPerTask := make([][]Job, len(tr.Specs))
+	for _, j := range tr.Jobs {
+		jobsPerTask[j.Task] = append(jobsPerTask[j.Task], j)
+	}
+	for ti := range jobsPerTask {
+		sort.SliceStable(jobsPerTask[ti], func(a, b int) bool {
+			return jobsPerTask[ti][a].Release < jobsPerTask[ti][b].Release
+		})
+	}
+
+	for ti, spec := range tr.Specs {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, j := range jobsPerTask[ti] {
+			if j.Release >= to {
+				break
+			}
+			end := j.Finish
+			if end < 0 {
+				end = to
+			}
+			if end <= from {
+				continue
+			}
+			// Waiting segment: release -> start (or window end).
+			ws := j.Start
+			if ws < 0 {
+				ws = to
+			}
+			for c := cell(j.Release); c <= cell(minT(ws, to)); c++ {
+				if row[c] == ' ' {
+					row[c] = '.'
+				}
+			}
+			if j.Start >= 0 {
+				for c := cell(maxT(j.Start, from)); c <= cell(minT(end, to)); c++ {
+					row[c] = '#'
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", nameW, spec.Name, string(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func minT(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxT(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

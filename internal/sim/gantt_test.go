@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteGanttBasic(t *testing.T) {
+	specs := []TaskSpec{
+		{Name: "hi", C: 2, T: 10, Prio: 0},
+		{Name: "lo", C: 4, T: 20, Prio: 1},
+	}
+	tr, err := SimulateCore(specs, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteGantt(&sb, GanttOptions{Width: 40}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "t=[0, 40) ms") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "#") {
+			t.Fatalf("row without execution: %q", l)
+		}
+	}
+	// The preempted low task shows waiting dots at t=0 region? lo is released
+	// at 0 but hi runs first, so lo's row must contain at least one '.'.
+	if !strings.Contains(lines[2], ".") {
+		t.Fatalf("lo row should show waiting time: %q", lines[2])
+	}
+}
+
+func TestWriteGanttWindow(t *testing.T) {
+	specs := []TaskSpec{{Name: "a", C: 2, T: 10, Prio: 0}}
+	tr, err := SimulateCore(specs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteGantt(&sb, GanttOptions{From: 50, To: 60, Width: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "t=[50, 60) ms") {
+		t.Fatalf("window header wrong:\n%s", sb.String())
+	}
+	// Empty window must error.
+	if err := tr.WriteGantt(&sb, GanttOptions{From: 60, To: 60}); err == nil {
+		t.Fatal("empty window must error")
+	}
+}
+
+func TestWriteGanttDefaultsAndClamps(t *testing.T) {
+	specs := []TaskSpec{{Name: "a", C: 2, T: 10, Prio: 0}}
+	tr, err := SimulateCore(specs, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	// To beyond the horizon clamps; zero width defaults.
+	if err := tr.WriteGantt(&sb, GanttOptions{To: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "t=[0, 30) ms") {
+		t.Fatalf("horizon clamp failed:\n%s", sb.String())
+	}
+}

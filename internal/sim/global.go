@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// SimulateGlobalSlack implements the runtime slack-reclamation mode the
+// paper's Discussion (Sec. V) leaves as future work: real-time tasks stay
+// partitioned (their schedule is untouched), while ready security jobs may
+// execute on *any* core that is currently free of ready real-time work —
+// migrating at dispatch granularity instead of being pinned to their HYDRA
+// core. Security jobs still never delay real-time jobs: a real-time release
+// on the core a security job occupies preempts it immediately, and the job
+// may resume elsewhere.
+//
+// rtPerCore pins the real-time tasks; sec lists the security tasks with
+// their adapted periods (priorities inside sec follow TaskSpec.Prio).
+// The returned trace uses a synthetic core layout: core c's spec list is
+// rtPerCore[c] (RT jobs are recorded per home core), and security jobs are
+// recorded on a virtual "core" appended at index len(rtPerCore) whose specs
+// are sec — their executing core varies and is not tracked per job.
+func SimulateGlobalSlack(rtPerCore [][]TaskSpec, sec []TaskSpec, horizon Time) (*SystemTrace, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon must be positive, got %g", horizon)
+	}
+	m := len(rtPerCore)
+	if m == 0 {
+		return nil, fmt.Errorf("sim: need at least one core")
+	}
+	for c, specs := range rtPerCore {
+		for i, s := range specs {
+			if !(s.C > 0) || !(s.T > 0) || s.Offset < 0 {
+				return nil, fmt.Errorf("sim: rt core %d task %d invalid", c, i)
+			}
+		}
+	}
+	for i, s := range sec {
+		if !(s.C > 0) || !(s.T > 0) || s.Offset < 0 {
+			return nil, fmt.Errorf("sim: security task %d invalid", i)
+		}
+	}
+
+	// Traces: one per real core plus the virtual security core.
+	traces := make([]*CoreTrace, m+1)
+	for c := 0; c < m; c++ {
+		traces[c] = &CoreTrace{Specs: rtPerCore[c], Horizon: horizon}
+	}
+	traces[m] = &CoreTrace{Specs: sec, Horizon: horizon}
+
+	// Global release list: (time, core-or-virtual, task index).
+	type rel struct {
+		at   Time
+		core int // m = security
+		task int
+	}
+	var rels []rel
+	for c := 0; c < m; c++ {
+		for ti, s := range rtPerCore[c] {
+			for at := s.Offset; at < horizon; at += s.T {
+				rels = append(rels, rel{at, c, ti})
+			}
+		}
+	}
+	for ti, s := range sec {
+		for at := s.Offset; at < horizon; at += s.T {
+			rels = append(rels, rel{at, m, ti})
+		}
+	}
+	sort.SliceStable(rels, func(a, b int) bool { return rels[a].at < rels[b].at })
+
+	// Pre-create job records per trace, indexed in release order.
+	jobIdx := make([]int, len(rels))
+	for i, r := range rels {
+		jobIdx[i] = len(traces[r.core].Jobs)
+		traces[r.core].Jobs = append(traces[r.core].Jobs, Job{Task: r.task, Release: r.at, Start: -1, Finish: -1})
+	}
+
+	// Ready queues: one per real core for RT jobs, one global for security.
+	rtReady := make([]readyQueue, m)
+	var secReady readyQueue
+	for c := range rtReady {
+		heap.Init(&rtReady[c])
+	}
+	heap.Init(&secReady)
+
+	type runSlot struct {
+		p      *pending
+		core   int // trace core (m for security jobs)
+		curRun int // physical core currently executing the job
+	}
+	running := make([]*runSlot, m) // per physical core
+
+	now := Time(0)
+	next := 0
+	admit := func() {
+		for next < len(rels) && rels[next].at <= now+timeEps {
+			r := rels[next]
+			var prio int
+			var np bool
+			if r.core == m {
+				prio = sec[r.task].Prio
+				np = sec[r.task].NonPreemptive
+			} else {
+				prio = rtPerCore[r.core][r.task].Prio
+				np = rtPerCore[r.core][r.task].NonPreemptive
+			}
+			p := &pending{job: jobIdx[next], prio: prio, seq: next, nonPre: np}
+			if r.core == m {
+				p.remaining = sec[r.task].C
+				heap.Push(&secReady, p)
+			} else {
+				p.remaining = rtPerCore[r.core][r.task].C
+				heap.Push(&rtReady[r.core], p)
+			}
+			next++
+		}
+	}
+	admit()
+
+	// coreOfPending maps a running slot back to its trace for job records.
+	idle := make([]Time, m)
+	for now < horizon-timeEps {
+		// Dispatch per physical core: pinned RT work first, then one global
+		// security job if the core would otherwise idle.
+		for c := 0; c < m; c++ {
+			cur := running[c]
+			// RT preemption/dispatch.
+			if len(rtReady[c]) > 0 {
+				top := rtReady[c][0]
+				if cur == nil || cur.core == m || top.prio < cur.p.prio {
+					if cur != nil {
+						if cur.core == m {
+							// Security job evicted back to the global queue.
+							if cur.p.started && cur.p.remaining > timeEps {
+								traces[m].Jobs[cur.p.job].Preemptions++
+							}
+							heap.Push(&secReady, cur.p)
+						} else {
+							if cur.p.started && cur.p.remaining > timeEps {
+								traces[c].Jobs[cur.p.job].Preemptions++
+							}
+							heap.Push(&rtReady[c], cur.p)
+						}
+					}
+					heap.Pop(&rtReady[c])
+					running[c] = &runSlot{p: top, core: c, curRun: c}
+				}
+			}
+		}
+		// Fill idle cores with security jobs (highest priority first).
+		for c := 0; c < m; c++ {
+			if running[c] == nil && len(secReady) > 0 {
+				p := heap.Pop(&secReady).(*pending)
+				running[c] = &runSlot{p: p, core: m, curRun: c}
+			}
+		}
+
+		// Find the next event: release or earliest completion.
+		step := horizon - now
+		if next < len(rels) {
+			if d := rels[next].at - now; d < step {
+				step = d
+			}
+		}
+		anyRunning := false
+		for c := 0; c < m; c++ {
+			if running[c] != nil {
+				anyRunning = true
+				if running[c].p.remaining < step {
+					step = running[c].p.remaining
+				}
+			}
+		}
+		if !anyRunning && next >= len(rels) {
+			for c := 0; c < m; c++ {
+				idle[c] += horizon - now
+			}
+			now = horizon
+			break
+		}
+		if step < 0 {
+			step = 0
+		}
+
+		// Execute the interval.
+		for c := 0; c < m; c++ {
+			slot := running[c]
+			if slot == nil {
+				idle[c] += step
+				continue
+			}
+			if !slot.p.started {
+				slot.p.started = true
+				traces[slot.core].Jobs[slot.p.job].Start = now
+			}
+			slot.p.remaining -= step
+		}
+		now += step
+		admit()
+		for c := 0; c < m; c++ {
+			if slot := running[c]; slot != nil && slot.p.remaining <= timeEps {
+				traces[slot.core].Jobs[slot.p.job].Finish = now
+				running[c] = nil
+			}
+		}
+	}
+
+	for c := 0; c < m; c++ {
+		traces[c].IdleTime = idle[c]
+	}
+	// Post-process misses/unstarted per trace.
+	for tc, tr := range traces {
+		specs := tr.Specs
+		for i := range tr.Jobs {
+			j := &tr.Jobs[i]
+			if j.Start < 0 {
+				tr.Unstarted++
+				continue
+			}
+			if j.Finish >= 0 && j.Finish > j.Release+specs[j.Task].T+timeEps {
+				tr.Misses++
+			}
+		}
+		_ = tc
+	}
+	return &SystemTrace{Cores: traces}, nil
+}

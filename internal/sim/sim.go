@@ -1,0 +1,319 @@
+// Package sim provides a deterministic discrete-event simulator of
+// preemptive fixed-priority scheduling on one core. Cores are independent
+// under partitioned scheduling, so a multicore platform is simulated as a
+// set of per-core runs (see SimulateSystem).
+//
+// The simulator substitutes for the paper's ARM Cortex-A8 / Xenomai testbed
+// (Sec. IV-A): Fig. 1 measures scheduling-level intrusion-detection latency,
+// which depends only on the schedule the simulator reproduces exactly.
+// Released jobs execute for their full WCET (the worst case the paper's
+// analysis targets); releases are strictly periodic from a per-task offset —
+// the critical-instant pattern for offset zero.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is milliseconds, matching the rts package.
+type Time = float64
+
+// Kind distinguishes real-time from security tasks in traces.
+type Kind int
+
+const (
+	// KindRT marks a real-time task.
+	KindRT Kind = iota
+	// KindSecurity marks a security task.
+	KindSecurity
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRT:
+		return "rt"
+	case KindSecurity:
+		return "security"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// TaskSpec is one periodic task pinned to the simulated core.
+type TaskSpec struct {
+	Name   string
+	C      Time // execution demand per job (WCET)
+	T      Time // period
+	Offset Time // release of the first job
+	Prio   int  // static priority: smaller value preempts larger
+	Kind   Kind
+	// NonPreemptive makes every job of this task run to completion once it
+	// first gets the processor (the Sec. V extension for critical security
+	// checks). Higher-priority jobs arriving meanwhile are blocked.
+	NonPreemptive bool
+}
+
+// Job is one completed (or still-pending) job instance in a trace.
+type Job struct {
+	Task        int // index into the spec slice
+	Release     Time
+	Start       Time // first instant the job executed; -1 if never started
+	Finish      Time // completion; -1 if unfinished at the horizon
+	Preemptions int  // times the job was preempted after starting
+}
+
+// ResponseTime returns Finish - Release, or -1 for unfinished jobs.
+func (j Job) ResponseTime() Time {
+	if j.Finish < 0 {
+		return -1
+	}
+	return j.Finish - j.Release
+}
+
+// CoreTrace is the outcome of simulating one core.
+type CoreTrace struct {
+	Specs     []TaskSpec
+	Horizon   Time
+	Jobs      []Job // all jobs released before the horizon, in release order
+	IdleTime  Time  // total time the core was idle
+	Misses    int   // jobs finishing after release+period (implicit deadline)
+	Unstarted int   // jobs never dispatched before the horizon
+}
+
+// JobsOf returns the completed jobs of one task, in release order.
+func (tr *CoreTrace) JobsOf(task int) []Job {
+	var out []Job
+	for _, j := range tr.Jobs {
+		if j.Task == task {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Utilization returns the fraction of the horizon the core was busy.
+func (tr *CoreTrace) Utilization() float64 {
+	if tr.Horizon <= 0 {
+		return 0
+	}
+	return 1 - tr.IdleTime/tr.Horizon
+}
+
+// pending is a released, unfinished job in the ready queue.
+type pending struct {
+	job       int // index into trace.Jobs
+	prio      int
+	seq       int // release tie-break: earlier release first
+	remaining Time
+	started   bool
+	nonPre    bool
+}
+
+// readyQueue orders pending jobs by (prio, seq).
+type readyQueue []*pending
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q readyQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x interface{}) { *q = append(*q, x.(*pending)) }
+func (q *readyQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}
+
+// release is one future job arrival.
+type release struct {
+	at   Time
+	task int
+}
+
+const timeEps = 1e-9
+
+// SimulateCore runs the core for [0, horizon) and returns the trace.
+func SimulateCore(specs []TaskSpec, horizon Time) (*CoreTrace, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon must be positive, got %g", horizon)
+	}
+	for i, s := range specs {
+		if !(s.C > 0) || !(s.T > 0) || s.Offset < 0 || math.IsNaN(s.C+s.T+s.Offset) {
+			return nil, fmt.Errorf("sim: task %d (%q) has invalid parameters C=%g T=%g Offset=%g", i, s.Name, s.C, s.T, s.Offset)
+		}
+	}
+
+	// Materialize all releases up front; horizons are short enough (the
+	// paper observes 500 s windows) that this stays small.
+	var releases []release
+	for ti, s := range specs {
+		for at := s.Offset; at < horizon; at += s.T {
+			releases = append(releases, release{at: at, task: ti})
+		}
+	}
+	sort.SliceStable(releases, func(a, b int) bool { return releases[a].at < releases[b].at })
+
+	tr := &CoreTrace{Specs: specs, Horizon: horizon}
+	tr.Jobs = make([]Job, len(releases))
+	for i, r := range releases {
+		tr.Jobs[i] = Job{Task: r.task, Release: r.at, Start: -1, Finish: -1}
+	}
+
+	var ready readyQueue
+	heap.Init(&ready)
+	now := Time(0)
+	nextRel := 0
+	var running *pending // the job currently holding the processor
+
+	admit := func() {
+		for nextRel < len(releases) && releases[nextRel].at <= now+timeEps {
+			r := releases[nextRel]
+			heap.Push(&ready, &pending{
+				job:       nextRel,
+				prio:      specs[r.task].Prio,
+				seq:       nextRel,
+				remaining: specs[r.task].C,
+				nonPre:    specs[r.task].NonPreemptive,
+			})
+			nextRel++
+		}
+	}
+	admit()
+
+	for now < horizon-timeEps {
+		// Choose the job to run: a started non-preemptive job keeps the
+		// processor; otherwise the highest-priority ready job runs.
+		if running == nil || !(running.nonPre && running.started) {
+			if len(ready) > 0 {
+				top := ready[0]
+				if running == nil {
+					running = top
+					heap.Pop(&ready)
+				} else if top.prio < running.prio {
+					// Preempt: running returns to the queue.
+					if running.started && running.remaining > timeEps {
+						tr.Jobs[running.job].Preemptions++
+					}
+					heap.Push(&ready, running)
+					running = top
+					heap.Pop(&ready)
+				}
+			}
+		}
+
+		if running == nil {
+			// Idle until the next release (or horizon).
+			if nextRel >= len(releases) {
+				tr.IdleTime += horizon - now
+				now = horizon
+				break
+			}
+			next := releases[nextRel].at
+			if next > horizon {
+				next = horizon
+			}
+			tr.IdleTime += next - now
+			now = next
+			admit()
+			continue
+		}
+
+		if !running.started {
+			running.started = true
+			tr.Jobs[running.job].Start = now
+		}
+		// Run until completion or the next release, whichever is first.
+		runUntil := now + running.remaining
+		if nextRel < len(releases) && releases[nextRel].at < runUntil {
+			runUntil = releases[nextRel].at
+		}
+		if runUntil > horizon {
+			runUntil = horizon
+		}
+		running.remaining -= runUntil - now
+		now = runUntil
+		admit()
+		if running.remaining <= timeEps {
+			tr.Jobs[running.job].Finish = now
+			running = nil
+		}
+	}
+
+	// Post-process statistics.
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if j.Start < 0 {
+			tr.Unstarted++
+			continue
+		}
+		if j.Finish >= 0 && j.Finish > j.Release+specs[j.Task].T+timeEps {
+			tr.Misses++
+		}
+	}
+	return tr, nil
+}
+
+// SystemTrace bundles the per-core traces of a partitioned platform.
+type SystemTrace struct {
+	Cores []*CoreTrace
+}
+
+// SimulateSystem simulates every core independently (partitioned scheduling
+// has no cross-core interaction) for the same horizon.
+func SimulateSystem(perCore [][]TaskSpec, horizon Time) (*SystemTrace, error) {
+	st := &SystemTrace{Cores: make([]*CoreTrace, len(perCore))}
+	for c, specs := range perCore {
+		tr, err := SimulateCore(specs, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("sim: core %d: %w", c, err)
+		}
+		st.Cores[c] = tr
+	}
+	return st, nil
+}
+
+// TotalMisses sums deadline misses across cores.
+func (st *SystemTrace) TotalMisses() int {
+	var n int
+	for _, c := range st.Cores {
+		n += c.Misses
+	}
+	return n
+}
+
+// MaxObservedResponse returns the largest response time among the finished
+// jobs of one task, or -1 when no job of the task finished.
+func (tr *CoreTrace) MaxObservedResponse(task int) Time {
+	worst := Time(-1)
+	for _, j := range tr.Jobs {
+		if j.Task != task || j.Finish < 0 {
+			continue
+		}
+		if r := j.ResponseTime(); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// ResponseTimes returns the response times of all finished jobs of a task,
+// in release order.
+func (tr *CoreTrace) ResponseTimes(task int) []Time {
+	var out []Time
+	for _, j := range tr.Jobs {
+		if j.Task == task && j.Finish >= 0 {
+			out = append(out, j.ResponseTime())
+		}
+	}
+	return out
+}

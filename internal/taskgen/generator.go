@@ -1,0 +1,143 @@
+package taskgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hydra/internal/rts"
+)
+
+// Params mirrors Sec. IV-B of the paper. The zero value is not valid; use
+// DefaultParams and override fields as needed.
+type Params struct {
+	M         int     // number of cores
+	NR        int     // real-time task count; 0 means draw from [3M, 10M]
+	NS        int     // security task count; 0 means draw from [2M, 5M]
+	TotalUtil float64 // combined RT + security utilization target
+
+	RTPeriodMin, RTPeriodMax rts.Time // real-time periods (log-uniform)
+	SecTDesMin, SecTDesMax   rts.Time // security desired periods (uniform)
+	TMaxFactor               float64  // Tmax = TMaxFactor * Tdes
+	SecUtilFraction          float64  // U_S = frac * U_R (paper: <= 30%)
+	MinTaskUtil              float64  // per-task utilization floor (>0)
+}
+
+// DefaultParams returns the paper's synthetic-experiment parameters for m
+// cores at the given total utilization.
+func DefaultParams(m int, totalUtil float64) Params {
+	return Params{
+		M:           m,
+		TotalUtil:   totalUtil,
+		RTPeriodMin: 10, RTPeriodMax: 1000,
+		SecTDesMin: 1000, SecTDesMax: 3000,
+		TMaxFactor:      10,
+		SecUtilFraction: 0.3,
+		MinTaskUtil:     0.001,
+	}
+}
+
+// Workload is one generated taskset instance.
+type Workload struct {
+	RT  []rts.RTTask
+	Sec []rts.SecurityTask
+}
+
+// TotalUtilization returns U_R + U_S(desired) of the workload.
+func (w *Workload) TotalUtilization() float64 {
+	return rts.TotalRTUtilization(w.RT) + rts.TotalSecurityDesiredUtilization(w.Sec)
+}
+
+// Generate draws one workload. The split between real-time and security
+// utilization follows the paper's rule that security tasks get at most
+// SecUtilFraction (30%) of the real-time utilization:
+//
+//	U_R = U_total / (1 + frac),  U_S = U_total - U_R.
+func Generate(p Params, rng *rand.Rand) (*Workload, error) {
+	if p.M <= 0 {
+		return nil, fmt.Errorf("taskgen: M must be positive, got %d", p.M)
+	}
+	if !(p.TotalUtil > 0) {
+		return nil, fmt.Errorf("taskgen: TotalUtil must be positive, got %g", p.TotalUtil)
+	}
+	if p.MinTaskUtil <= 0 {
+		p.MinTaskUtil = 0.001
+	}
+	nr := p.NR
+	if nr == 0 {
+		nr = randIntIn(rng, 3*p.M, 10*p.M)
+	}
+	ns := p.NS
+	if ns == 0 {
+		ns = randIntIn(rng, 2*p.M, 5*p.M)
+	}
+	if nr <= 0 || ns < 0 {
+		return nil, fmt.Errorf("taskgen: invalid task counts NR=%d NS=%d", nr, ns)
+	}
+
+	frac := p.SecUtilFraction
+	if frac < 0 {
+		frac = 0
+	}
+	uR := p.TotalUtil / (1 + frac)
+	uS := p.TotalUtil - uR
+	if ns == 0 {
+		uR, uS = p.TotalUtil, 0
+	}
+
+	// Feasibility of the draw itself (not of scheduling): every task must
+	// fit its per-task utilization in [MinTaskUtil, 1].
+	if uR < float64(nr)*p.MinTaskUtil || uR > float64(nr) {
+		return nil, fmt.Errorf("taskgen: RT utilization %g not splittable over %d tasks", uR, nr)
+	}
+	rtUtils, err := RandFixedSum(nr, uR, p.MinTaskUtil, 1, rng)
+	if err != nil {
+		return nil, fmt.Errorf("taskgen: RT utilizations: %w", err)
+	}
+	w := &Workload{RT: make([]rts.RTTask, nr)}
+	for i, u := range rtUtils {
+		period := logUniform(rng, p.RTPeriodMin, p.RTPeriodMax)
+		w.RT[i] = rts.NewRTTask(fmt.Sprintf("rt%02d", i), u*period, period)
+	}
+
+	if ns > 0 {
+		if uS < float64(ns)*p.MinTaskUtil || uS > float64(ns) {
+			return nil, fmt.Errorf("taskgen: security utilization %g not splittable over %d tasks", uS, ns)
+		}
+		secUtils, err := RandFixedSum(ns, uS, p.MinTaskUtil, 1, rng)
+		if err != nil {
+			return nil, fmt.Errorf("taskgen: security utilizations: %w", err)
+		}
+		w.Sec = make([]rts.SecurityTask, ns)
+		for i, u := range secUtils {
+			tdes := p.SecTDesMin + (p.SecTDesMax-p.SecTDesMin)*rng.Float64()
+			w.Sec[i] = rts.SecurityTask{
+				Name: fmt.Sprintf("sec%02d", i),
+				C:    u * tdes,
+				TDes: tdes,
+				TMax: p.TMaxFactor * tdes,
+			}
+		}
+	}
+	if err := rts.ValidateAll(w.RT, w.Sec); err != nil {
+		return nil, fmt.Errorf("taskgen: generated invalid workload: %w", err)
+	}
+	return w, nil
+}
+
+// randIntIn returns a uniform integer in [lo, hi].
+func randIntIn(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// logUniform draws from [lo, hi] uniformly in log space, the standard
+// period distribution for multiprocessor taskset synthesis [23].
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	if !(hi > lo) {
+		return lo
+	}
+	return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+}

@@ -1,0 +1,127 @@
+// Package taskgen synthesizes random tasksets with the parameters of the
+// paper's evaluation (Sec. IV-B): per-task utilizations drawn unbiasedly via
+// the Randfixedsum algorithm of Emberson, Stafford and Davis (WATERS 2010)
+// [23], log-uniform real-time periods in [10,1000] ms, security desired
+// periods in [1000,3000] ms with Tmax = 10*Tdes, and a security utilization
+// share of at most 30% of the real-time share.
+package taskgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandFixedSum draws n values x_i in [lo, hi] with sum(x) == total,
+// distributed uniformly over that section of the simplex (Stafford's
+// randfixedsum algorithm, as used for unbiased utilization generation by
+// Emberson et al.). The rng makes the draw deterministic and reproducible.
+func RandFixedSum(n int, total, lo, hi float64, rng *rand.Rand) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("taskgen: RandFixedSum needs n > 0, got %d", n)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("taskgen: RandFixedSum needs hi > lo, got [%g,%g]", lo, hi)
+	}
+	if total < float64(n)*lo-1e-12 || total > float64(n)*hi+1e-12 {
+		return nil, fmt.Errorf("taskgen: sum %g unreachable with %d values in [%g,%g]", total, n, lo, hi)
+	}
+	if n == 1 {
+		return []float64{total}, nil
+	}
+
+	// Rescale to the unit cube: u = (total - n*lo)/(hi - lo) in [0, n].
+	u := (total - float64(n)*lo) / (hi - lo)
+	nf := float64(n)
+	if u < 0 {
+		u = 0
+	}
+	if u > nf {
+		u = nf
+	}
+
+	k := math.Floor(u)
+	if k > nf-1 {
+		k = nf - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	if u < k {
+		u = k
+	}
+	if u > k+1 {
+		u = k + 1
+	}
+
+	// s1[i] = u - k + i, s2[i] = k + n - i - u  (0-based translation of the
+	// MATLAB reference s1 = s-(k:-1:k-n+1), s2 = (k+n:-1:k+1)-s).
+	s1 := make([]float64, n)
+	s2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s1[i] = u - k + float64(i)
+		s2[i] = k + nf - float64(i) - u
+	}
+
+	// Probability table. w[i][j] follows the reference recursion scaled by
+	// "big" to retain precision; t[i][j] are the transition probabilities.
+	const big = 1e300
+	const tiny = math.SmallestNonzeroFloat64
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n+1)
+	}
+	w[0][1] = big
+	t := make([][]float64, n-1)
+	for i := range t {
+		t[i] = make([]float64, n)
+	}
+	for i := 2; i <= n; i++ {
+		fi := float64(i)
+		for j := 1; j <= i; j++ {
+			tmp1 := w[i-2][j] * s1[j-1] / fi
+			tmp2 := w[i-2][j-1] * s2[n-i+j-1] / fi
+			w[i-1][j] = tmp1 + tmp2
+			tmp3 := w[i-1][j] + tiny
+			if s2[n-i+j-1] > s1[j-1] {
+				t[i-2][j-1] = tmp2 / tmp3
+			} else {
+				t[i-2][j-1] = 1 - tmp1/tmp3
+			}
+		}
+	}
+
+	// Sample one point by walking the simplex decomposition.
+	x := make([]float64, n)
+	s := u
+	j := int(k) + 1 // 1-based column cursor
+	var sm, pr float64
+	sm, pr = 0, 1
+	for i := n - 1; i >= 1; i-- {
+		e := 0.0
+		if rng.Float64() <= t[i-1][j-1] {
+			e = 1
+		}
+		sx := math.Pow(rng.Float64(), 1/float64(i))
+		sm += (1 - sx) * pr * s / float64(i+1)
+		pr *= sx
+		x[n-i-1] = sm + pr*e
+		s -= e
+		j -= int(e)
+	}
+	x[n-1] = sm + pr*s
+
+	// Random permutation for exchangeability, then scale back to [lo, hi].
+	rng.Shuffle(n, func(a, b int) { x[a], x[b] = x[b], x[a] })
+	for i := range x {
+		x[i] = lo + (hi-lo)*x[i]
+		// Numerical safety: clamp tiny excursions from rounding.
+		if x[i] < lo {
+			x[i] = lo
+		}
+		if x[i] > hi {
+			x[i] = hi
+		}
+	}
+	return x, nil
+}

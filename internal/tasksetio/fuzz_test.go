@@ -1,0 +1,35 @@
+package tasksetio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode checks that arbitrary input never panics the decoder and that
+// every accepted document survives an encode/decode round trip.
+func FuzzDecode(f *testing.F) {
+	f.Add(sample)
+	f.Add(`{"cores": 1}`)
+	f.Add(`{"cores": 3, "rt_tasks": [{"name":"x","wcet_ms":1,"period_ms":2}]}`)
+	f.Add(`[]`)
+	f.Add(``)
+	f.Add(`{"cores": 2, "security_tasks": [{"name":"s","wcet_ms":1,"desired_period_ms":5,"max_period_ms":50}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		p, err := Decode(strings.NewReader(doc))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, p); err != nil {
+			t.Fatalf("accepted problem failed to encode: %v", err)
+		}
+		p2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, buf.String())
+		}
+		if len(p2.RT) != len(p.RT) || len(p2.Sec) != len(p.Sec) || p2.M != p.M {
+			t.Fatal("round trip changed the problem shape")
+		}
+	})
+}

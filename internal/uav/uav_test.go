@@ -1,0 +1,80 @@
+package uav
+
+import (
+	"testing"
+
+	"hydra/internal/rts"
+)
+
+func TestRTTasksValid(t *testing.T) {
+	tasks := RTTasks()
+	if len(tasks) != 6 {
+		t.Fatalf("UAV system has 6 real-time tasks, got %d", len(tasks))
+	}
+	names := map[string]bool{}
+	for _, task := range tasks {
+		if err := task.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if names[task.Name] {
+			t.Fatalf("duplicate task name %q", task.Name)
+		}
+		names[task.Name] = true
+	}
+	for _, want := range []string{"guidance", "slow-navigation", "fast-navigation", "controller", "missile-control", "reconnaissance"} {
+		if !names[want] {
+			t.Fatalf("missing paper task %q", want)
+		}
+	}
+	// Design constraint: schedulable on one core (for SingleCore at M=2).
+	u := rts.TotalRTUtilization(tasks)
+	if u >= 1 {
+		t.Fatalf("utilization %v >= 1: cannot fit one core", u)
+	}
+	if !rts.CoreSchedulable(tasks) {
+		t.Fatal("UAV taskset must be RM-schedulable on one core")
+	}
+}
+
+func TestSecurityTasksValid(t *testing.T) {
+	infos := SecurityTasks()
+	if len(infos) != 6 {
+		t.Fatalf("Table I has 6 security tasks, got %d", len(infos))
+	}
+	var tripwire, bro int
+	for _, info := range infos {
+		if err := info.Task.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		switch info.Application {
+		case "Tripwire":
+			tripwire++
+		case "Bro":
+			bro++
+		default:
+			t.Fatalf("unknown application %q", info.Application)
+		}
+		if info.Function == "" {
+			t.Fatalf("task %q missing function description", info.Task.Name)
+		}
+		if info.Task.TMax != 10*info.Task.TDes {
+			t.Fatalf("task %q: TMax should be 10x TDes per the evaluation setup", info.Task.Name)
+		}
+	}
+	if tripwire != 5 || bro != 1 {
+		t.Fatalf("expected 5 Tripwire + 1 Bro, got %d + %d", tripwire, bro)
+	}
+}
+
+func TestSecurityTaskSetMatchesInfos(t *testing.T) {
+	infos := SecurityTasks()
+	set := SecurityTaskSet()
+	if len(set) != len(infos) {
+		t.Fatalf("lengths differ: %d vs %d", len(set), len(infos))
+	}
+	for i := range set {
+		if set[i] != infos[i].Task {
+			t.Fatalf("task %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package workloads is a registry of named case-study workloads for the
+// command-line tools and examples: the paper's UAV system plus two further
+// representative control systems (automotive engine control and an
+// avionics-style partition set), each paired with a security workload in
+// the Table-I spirit. The extra workloads exercise different period scales
+// and utilization profiles than the UAV study; their parameters are
+// representative, documented values, not measurements.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/rts"
+	"hydra/internal/uav"
+)
+
+// Workload is a named, self-contained allocation scenario.
+type Workload struct {
+	Name        string
+	Description string
+	RT          []rts.RTTask
+	Sec         []rts.SecurityTask
+}
+
+// Get returns a registered workload by name.
+func Get(name string) (*Workload, error) {
+	switch name {
+	case "uav":
+		return &Workload{
+			Name:        "uav",
+			Description: "UAV control system + Tripwire/Bro security tasks (paper Fig. 1)",
+			RT:          uav.RTTasks(),
+			Sec:         uav.SecurityTaskSet(),
+		}, nil
+	case "automotive":
+		return automotive(), nil
+	case "avionics":
+		return avionics(), nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the registered workload names, sorted.
+func Names() []string {
+	names := []string{"uav", "automotive", "avionics"}
+	sort.Strings(names)
+	return names
+}
+
+// automotive models an engine-control unit: very short periods (crank-angle
+// synchronous work approximated at 5 ms), a heavy 100 ms diagnostics tier,
+// and CAN-bus-oriented security monitoring. High-rate tasks make the
+// security interference constants (sum of WCETs) small but the utilization
+// term large.
+func automotive() *Workload {
+	return &Workload{
+		Name:        "automotive",
+		Description: "engine-control unit with CAN-bus intrusion monitoring",
+		RT: []rts.RTTask{
+			rts.NewRTTask("injection-control", 1.2, 5),
+			rts.NewRTTask("ignition-timing", 0.8, 5),
+			rts.NewRTTask("knock-detection", 1.5, 10),
+			rts.NewRTTask("lambda-control", 2.0, 20),
+			rts.NewRTTask("idle-speed", 2.5, 50),
+			rts.NewRTTask("thermal-management", 5.0, 100),
+			rts.NewRTTask("diagnostics", 10.0, 200),
+			rts.NewRTTask("telemetry-uplink", 20.0, 1000),
+		},
+		Sec: []rts.SecurityTask{
+			{Name: "can-anomaly-scan", C: 40, TDes: 500, TMax: 5000},
+			{Name: "ecu-flash-hash", C: 250, TDes: 5000, TMax: 50000},
+			{Name: "sensor-plausibility", C: 60, TDes: 1000, TMax: 10000},
+			{Name: "obd-port-monitor", C: 30, TDes: 2000, TMax: 20000},
+		},
+	}
+}
+
+// avionics models an integrated-modular-avionics style partition set:
+// harmonic periods from 25 to 800 ms and moderate utilization, with
+// integrity monitoring of configuration tables and partition binaries.
+func avionics() *Workload {
+	return &Workload{
+		Name:        "avionics",
+		Description: "IMA-style partition set with configuration-integrity monitoring",
+		RT: []rts.RTTask{
+			rts.NewRTTask("flight-control-law", 5, 25),
+			rts.NewRTTask("air-data", 6, 50),
+			rts.NewRTTask("autopilot", 10, 100),
+			rts.NewRTTask("nav-fusion", 15, 200),
+			rts.NewRTTask("display-manager", 30, 400),
+			rts.NewRTTask("maintenance-log", 40, 800),
+		},
+		Sec: []rts.SecurityTask{
+			{Name: "partition-table-hash", C: 200, TDes: 2000, TMax: 20000},
+			{Name: "config-integrity", C: 300, TDes: 4000, TMax: 40000},
+			{Name: "bus-traffic-monitor", C: 150, TDes: 1000, TMax: 10000},
+			{Name: "binary-attestation", C: 500, TDes: 8000, TMax: 80000},
+			{Name: "sensor-crosscheck", C: 100, TDes: 1500, TMax: 15000},
+		},
+	}
+}
