@@ -1,13 +1,16 @@
 // Command hydra-experiments regenerates every table and figure of the
 // paper's evaluation section:
 //
-//	table1 — the Table I security-task inventory
-//	fig1   — UAV case study: detection-time ECDFs, HYDRA vs SingleCore
-//	fig2   — synthetic tasksets: acceptance-ratio improvement vs utilization
-//	fig3   — HYDRA vs exhaustive-optimal cumulative-tightness gap
+//	table1   — the Table I security-task inventory
+//	fig1     — UAV case study: detection-time ECDFs across schemes
+//	fig2     — synthetic tasksets: acceptance-ratio improvement vs utilization
+//	fig3     — scheme vs exhaustive-optimal cumulative-tightness gap
+//	ablation — commitment policy x RT-partition heuristic sweep
 //
-// Each experiment prints plot-ready rows (text or CSV). Runs are
-// deterministic for a fixed -seed.
+// Schemes are selected by name from the allocator registry (-schemes; see
+// -list-schemes for the catalogue), and the experiment grids run on the
+// parallel engine (-workers). Each experiment prints plot-ready rows (text
+// or CSV). Runs are deterministic for a fixed -seed regardless of -workers.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hydra/internal/core"
 	"hydra/internal/experiments"
 	"hydra/internal/report"
 )
@@ -36,12 +40,23 @@ func run(args []string, stdout io.Writer) error {
 	tasksets := fs.Int("tasksets", 250, "tasksets per utilization point (fig2; fig3 uses a quarter)")
 	attacks := fs.Int("attacks", 1000, "attacks per scheme and core count (fig1)")
 	cores := fs.String("cores", "2,4,8", "comma-separated platform sizes (fig1, fig2)")
+	schemes := fs.String("schemes", "hydra,singlecore", "comma-separated allocation schemes: fig1 compares the first two or more, fig2 tabulates all, fig3 measures the first against opt; ablation has its own scheme grid (see -list-schemes)")
+	workers := fs.Int("workers", 0, "parallel grid workers (0 = all hardware threads; results identical for any value)")
 	format := fs.String("format", "text", "output format: text or csv")
 	refine := fs.Bool("refine", false, "fig3: refine optimal periods with the sequential-GP maximizer")
+	list := fs.Bool("list-schemes", false, "print the registered allocation schemes and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(core.Names(), "\n"))
+		return nil
+	}
 	coreList, err := parseCores(*cores)
+	if err != nil {
+		return err
+	}
+	schemeList, err := parseSchemes(*schemes)
 	if err != nil {
 		return err
 	}
@@ -59,26 +74,49 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	runFig1 := func() error {
-		fmt.Fprintln(stdout, "\n== Fig. 1: UAV case study, detection-time ECDF (HYDRA vs SingleCore) ==")
-		res, err := experiments.RunFig1(experiments.Fig1Config{Cores: coreList, Attacks: *attacks, Seed: *seed})
+		fmt.Fprintf(stdout, "\n== Fig. 1: UAV case study, detection-time ECDF (%s) ==\n", strings.Join(schemeList, " vs "))
+		res, err := experiments.RunFig1(experiments.Fig1Config{
+			Cores: coreList, Schemes: schemeList, Attacks: *attacks, Seed: *seed, Workers: *workers,
+		})
 		if err != nil {
 			return err
 		}
-		summary := report.NewTable("cores", "hydra_mean_ms", "singlecore_mean_ms", "improvement", "censored_h", "censored_s")
+		header := []string{"cores"}
+		for _, s := range schemeList {
+			header = append(header, s+"_mean_ms")
+		}
+		header = append(header, "improvement")
+		for _, s := range schemeList {
+			header = append(header, s+"_censored")
+		}
+		summary := report.NewTable(header...)
 		for _, row := range res.Rows {
-			summary.AddRowf("%d\t%s\t%s\t%s\t%d\t%d",
-				row.M, report.F(row.Hydra.MeanDetection), report.F(row.SingleCore.MeanDetection),
-				report.Pct(row.ImprovementPct), row.Hydra.Censored, row.SingleCore.Censored)
+			fields := []string{fmt.Sprintf("%d", row.M)}
+			for _, sc := range row.Schemes {
+				fields = append(fields, report.F(sc.MeanDetection))
+			}
+			fields = append(fields, report.Pct(row.ImprovementPct))
+			for _, sc := range row.Schemes {
+				fields = append(fields, fmt.Sprintf("%d", sc.Censored))
+			}
+			summary.AddRowf("%s", strings.Join(fields, "\t"))
 		}
 		if err := emit(summary); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, "\nECDF series (detection time ms -> empirical CDF):")
 		for _, row := range res.Rows {
-			tb := report.NewTable("detection_ms", fmt.Sprintf("hydra_M%d", row.M), fmt.Sprintf("singlecore_M%d", row.M))
-			for i := range row.Hydra.Series {
-				tb.AddRowf("%.0f\t%s\t%s", row.Hydra.Series[i][0],
-					report.F(row.Hydra.Series[i][1]), report.F(row.SingleCore.Series[i][1]))
+			header := []string{"detection_ms"}
+			for _, s := range schemeList {
+				header = append(header, fmt.Sprintf("%s_M%d", s, row.M))
+			}
+			tb := report.NewTable(header...)
+			for i := range row.Schemes[0].Series {
+				fields := []string{fmt.Sprintf("%.0f", row.Schemes[0].Series[i][0])}
+				for _, sc := range row.Schemes {
+					fields = append(fields, report.F(sc.Series[i][1]))
+				}
+				tb.AddRowf("%s", strings.Join(fields, "\t"))
 			}
 			if err := emit(tb); err != nil {
 				return err
@@ -91,15 +129,26 @@ func run(args []string, stdout io.Writer) error {
 	runFig2 := func() error {
 		fmt.Fprintln(stdout, "\n== Fig. 2: improvement in acceptance ratio vs total utilization ==")
 		for _, m := range coreList {
-			pts, err := experiments.RunFig2(experiments.Fig2Config{M: m, TasksetsPerPoint: *tasksets, Seed: *seed})
+			pts, err := experiments.RunFig2(experiments.Fig2Config{
+				M: m, TasksetsPerPoint: *tasksets, Seed: *seed, Schemes: schemeList, Workers: *workers,
+			})
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(stdout, "\n-- %d cores --\n", m)
-			tb := report.NewTable("total_util", "generated", "hydra_ratio", "singlecore_ratio", "improvement")
+			header := []string{"total_util", "generated"}
+			for _, s := range schemeList {
+				header = append(header, s+"_ratio")
+			}
+			header = append(header, "improvement")
+			tb := report.NewTable(header...)
 			for _, p := range pts {
-				tb.AddRowf("%s\t%d\t%s\t%s\t%s",
-					report.F(p.TotalUtil), p.Generated, report.F(p.HydraRatio()), report.F(p.SingleRatio()), report.Pct(p.ImprovementPct))
+				fields := []string{report.F(p.TotalUtil), fmt.Sprintf("%d", p.Generated)}
+				for i := range schemeList {
+					fields = append(fields, report.F(p.Ratio(i)))
+				}
+				fields = append(fields, report.Pct(p.ImprovementPct))
+				tb.AddRowf("%s", strings.Join(fields, "\t"))
 			}
 			if err := emit(tb); err != nil {
 				return err
@@ -109,9 +158,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	runFig3 := func() error {
-		fmt.Fprintln(stdout, "\n== Fig. 3: cumulative-tightness gap, HYDRA vs optimal (M=2, NS in [2,6]) ==")
+		fmt.Fprintf(stdout, "\n== Fig. 3: cumulative-tightness gap, %s vs optimal (M=2, NS in [2,6]) ==\n", schemeList[0])
 		pts, err := experiments.RunFig3(experiments.Fig3Config{
-			TasksetsPerPoint: max(1, *tasksets/4), Seed: *seed, RefineJointGP: *refine,
+			TasksetsPerPoint: max(1, *tasksets/4), Seed: *seed, Scheme: schemeList[0],
+			RefineJointGP: *refine, Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -124,18 +174,18 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	runAblation := func() error {
-		fmt.Fprintln(stdout, "\n== Ablation: commitment policy x RT-partition heuristic (DESIGN.md §5) ==")
+		fmt.Fprintln(stdout, "\n== Ablation: allocation scheme x RT-partition heuristic (DESIGN.md §5) ==")
 		for _, m := range coreList {
 			cells, err := experiments.RunAblation(experiments.AblationConfig{
-				M: m, TasksetsPerCell: max(1, *tasksets/2), Seed: *seed,
+				M: m, TasksetsPerCell: max(1, *tasksets/2), Seed: *seed, Workers: *workers,
 			})
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(stdout, "\n-- %d cores, U = 0.8M --\n", m)
-			tb := report.NewTable("policy", "rt_heuristic", "acceptance", "mean_tightness")
+			tb := report.NewTable("scheme", "rt_heuristic", "acceptance", "mean_tightness")
 			for _, c := range cells {
-				tb.AddRowf("%s\t%s\t%s\t%s", c.Policy, c.Heuristic,
+				tb.AddRowf("%s\t%s\t%s\t%s", c.Scheme, c.Heuristic,
 					report.F(c.AcceptanceRatio()), report.F(c.MeanTightness))
 			}
 			if err := emit(tb); err != nil {
@@ -183,6 +233,25 @@ func parseCores(s string) ([]int, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no core counts given")
+	}
+	return out, nil
+}
+
+// parseSchemes splits and validates the -schemes list against the registry.
+func parseSchemes(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no schemes given")
+	}
+	if _, err := core.Resolve(out...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -89,7 +89,58 @@ func TestAblationExperimentSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "mean_tightness") || !strings.Contains(out, "best-tightness") {
+	if !strings.Contains(out, "mean_tightness") || !strings.Contains(out, "hydra-least-loaded") {
 		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestSchemesFlag(t *testing.T) {
+	out, err := runExp(t, "-experiment", "fig2", "-tasksets", "3", "-cores", "2",
+		"-schemes", "hydra,partition-best-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "partition-best-fit_ratio") {
+		t.Fatalf("scheme column missing:\n%s", out)
+	}
+	if _, err := runExp(t, "-schemes", "hydra,bogus"); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+	if _, err := runExp(t, "-schemes", ""); err == nil {
+		t.Fatal("empty scheme list must error")
+	}
+	// fig3 needs only one scheme; fig1 is a comparison and needs two.
+	if _, err := runExp(t, "-experiment", "fig3", "-tasksets", "4", "-schemes", "hydra-least-loaded"); err != nil {
+		t.Fatalf("fig3 with a single scheme: %v", err)
+	}
+	if _, err := runExp(t, "-experiment", "fig1", "-attacks", "10", "-cores", "2", "-schemes", "hydra"); err == nil {
+		t.Fatal("fig1 with a single scheme must error (nothing to compare)")
+	}
+}
+
+func TestListSchemes(t *testing.T) {
+	out, err := runExp(t, "-list-schemes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hydra", "singlecore", "opt", "partition-best-fit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// -workers must not change any output byte.
+func TestWorkersFlagDeterministic(t *testing.T) {
+	one, err := runExp(t, "-experiment", "fig2", "-tasksets", "4", "-cores", "2", "-workers", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := runExp(t, "-experiment", "fig2", "-tasksets", "4", "-cores", "2", "-workers", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != eight {
+		t.Fatalf("output differs between -workers 1 and 8:\n%s\nvs\n%s", one, eight)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"hydra/internal/core"
 	"hydra/internal/detect"
@@ -34,7 +35,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	input := fs.String("input", "-", "taskset JSON file ('-' for stdin)")
 	workload := fs.String("workload", "", "use a named built-in workload (uav, automotive, avionics) instead of -input")
 	coresFlag := fs.Int("m", 2, "core count when using -workload")
-	scheme := fs.String("scheme", "hydra", "allocation scheme: hydra or singlecore")
+	scheme := fs.String("scheme", "hydra", "allocation scheme by registry name (hydra, singlecore, partition-best-fit, ...)")
 	horizon := fs.Float64("horizon", 100_000, "simulation window in ms")
 	attacks := fs.Int("attacks", 500, "random attacks to inject (0 disables)")
 	seed := fs.Int64("seed", 1, "attack-injection RNG seed")
@@ -68,32 +69,32 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 
-	// Allocate.
-	var in *core.Input
-	var res *core.Result
-	var err error
-	switch *scheme {
-	case "hydra":
-		part, err := problem.Partition(partition.BestFit)
-		if err != nil {
+	// Allocate through the registry seam.
+	alloc, ok := core.Lookup(*scheme)
+	if !ok {
+		return fmt.Errorf("unknown scheme %q (available: %s)", *scheme, strings.Join(core.Names(), ", "))
+	}
+	part, err := problem.Partition(partition.BestFit)
+	if err != nil {
+		// Self-partitioning schemes (singlecore records its own partition in
+		// Result.RTPartition) can still run on a placeholder partition.
+		if !core.SelfPartitions(alloc) {
 			return fmt.Errorf("partition real-time tasks: %w", err)
 		}
-		if in, err = core.NewInput(problem.M, problem.RT, part, problem.Sec); err != nil {
-			return err
-		}
-		res = core.Hydra(in, core.HydraOptions{})
-	case "singlecore":
-		if in, err = core.NewSingleCoreInput(problem.M, problem.RT, problem.Sec, partition.BestFit); err != nil {
-			return err
-		}
-		res = core.SingleCoreInput(in)
-	default:
-		return fmt.Errorf("unknown scheme %q", *scheme)
+		part = make([]int, len(problem.RT))
 	}
+	in, err := core.NewInput(problem.M, problem.RT, part, problem.Sec)
+	if err != nil {
+		return err
+	}
+	res := alloc.Allocate(in)
 	if !res.Schedulable {
 		fmt.Fprintf(stdout, "UNSCHEDULABLE (%s): %s\n", res.Scheme, res.Reason)
 		return nil
 	}
+	// Analyze and simulate against the partition the scheme actually used
+	// (SingleCore repartitions the real-time tasks internally).
+	in = core.EffectiveInput(in, res)
 	if err := core.Verify(in, res); err != nil {
 		return fmt.Errorf("allocation failed verification: %w", err)
 	}

@@ -1,10 +1,12 @@
 // Command hydra allocates security tasks onto a partitioned multicore
 // real-time system, implementing the HYDRA heuristic of Hasan et al.
-// (DATE 2018) alongside the SingleCore and exhaustive-optimal baselines.
+// (DATE 2018) alongside the SingleCore, exhaustive-optimal, and bin-packing
+// baselines. Any scheme registered in the allocator registry can be selected
+// by name (-list-schemes prints the catalogue).
 //
 // Usage:
 //
-//	hydra -input taskset.json [-scheme hydra|singlecore|opt] [-policy ...]
+//	hydra -input taskset.json [-scheme <name>] [-policy ...]
 //
 // The input format is documented in internal/tasksetio; see
 // examples/quickstart for a minimal programmatic use of the library.
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"hydra/internal/core"
 	"hydra/internal/partition"
@@ -32,15 +35,20 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hydra", flag.ContinueOnError)
 	input := fs.String("input", "-", "taskset JSON file ('-' for stdin)")
-	scheme := fs.String("scheme", "hydra", "allocation scheme: hydra, singlecore or opt")
-	policy := fs.String("policy", "best-tightness", "HYDRA commitment policy: best-tightness, first-feasible or least-loaded")
+	scheme := fs.String("scheme", "hydra", "allocation scheme by registry name (see -list-schemes)")
+	policy := fs.String("policy", "best-tightness", "hydra scheme: commitment policy: best-tightness, first-feasible or least-loaded")
 	heuristic := fs.String("heuristic", "best-fit", "RT partition heuristic: first-fit, best-fit, worst-fit or next-fit")
-	useGP := fs.Bool("gp", false, "solve period adaptation with the geometric-programming solver instead of the closed form")
+	useGP := fs.Bool("gp", false, "hydra scheme: solve period adaptation with the geometric-programming solver instead of the closed form")
 	explain := fs.Bool("explain", false, "hydra scheme: print the per-task decision trace (candidate cores, periods, hints)")
 	refine := fs.Bool("refine", false, "opt scheme: refine per-core periods with the signomial sequential-GP maximizer")
 	format := fs.String("format", "text", "output format: text or csv")
+	list := fs.Bool("list-schemes", false, "print the registered allocation schemes and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(core.Names(), "\n"))
+		return nil
 	}
 
 	var src io.Reader = stdin
@@ -61,47 +69,60 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	var res *core.Result
-	var in *core.Input
+	// Resolve the allocator. The schemes with CLI modifier flags are built
+	// directly so -policy/-gp/-refine/-heuristic take effect; everything
+	// else comes from the registry by name.
+	var alloc core.Allocator
 	switch *scheme {
-	case "hydra", "opt":
-		part, err := problem.Partition(h)
+	case "hydra":
+		pol, err := parsePolicy(*policy)
 		if err != nil {
+			return err
+		}
+		alloc = core.NewHydraAllocator(core.HydraOptions{Policy: pol, UseGP: *useGP})
+	case "opt":
+		alloc = core.NewOptimalAllocator(core.OptimalOptions{RefineJointGP: *refine, MaxAssignments: 1 << 20})
+	case "singlecore":
+		alloc = core.NewSingleCoreAllocator(h)
+	default:
+		var ok bool
+		if alloc, ok = core.Lookup(*scheme); !ok {
+			return fmt.Errorf("unknown scheme %q (available: %s)", *scheme, strings.Join(core.Names(), ", "))
+		}
+	}
+
+	part, err := problem.Partition(h)
+	if err != nil {
+		// Schemes that repartition the real-time tasks themselves (they
+		// record the partition they used in Result.RTPartition) can still
+		// run; give them a placeholder partition.
+		if !core.SelfPartitions(alloc) {
 			return fmt.Errorf("partition real-time tasks: %w", err)
 		}
-		in, err = core.NewInput(problem.M, problem.RT, part, problem.Sec)
-		if err != nil {
-			return err
-		}
-		if *scheme == "hydra" {
-			pol, err := parsePolicy(*policy)
-			if err != nil {
-				return err
-			}
-			if *explain {
-				ex := core.ExplainHydra(in)
-				if err := ex.WriteText(stdout); err != nil {
-					return err
-				}
-				if !ex.Result.Schedulable {
-					fmt.Fprintf(stdout, "UNSCHEDULABLE (%s): %s\n", ex.Result.Scheme, ex.Result.Reason)
-					return nil
-				}
-				fmt.Fprintln(stdout)
-			}
-			res = core.Hydra(in, core.HydraOptions{Policy: pol, UseGP: *useGP})
-		} else {
-			res = core.Optimal(in, core.OptimalOptions{RefineJointGP: *refine, MaxAssignments: 1 << 20})
-		}
-	case "singlecore":
-		in, err = core.NewSingleCoreInput(problem.M, problem.RT, problem.Sec, h)
-		if err != nil {
-			return err
-		}
-		res = core.SingleCoreInput(in)
-	default:
-		return fmt.Errorf("unknown scheme %q", *scheme)
+		part = make([]int, len(problem.RT))
 	}
+	in, err := core.NewInput(problem.M, problem.RT, part, problem.Sec)
+	if err != nil {
+		return err
+	}
+	if *explain && *scheme == "hydra" {
+		// ExplainHydra traces Algorithm 1 in the paper's default
+		// configuration; refuse combinations where the trace would describe
+		// a different allocation than the result below.
+		if *policy != "best-tightness" || *useGP {
+			return fmt.Errorf("-explain supports only the default best-tightness closed-form configuration (got -policy %s, -gp %v)", *policy, *useGP)
+		}
+		ex := core.ExplainHydra(in)
+		if err := ex.WriteText(stdout); err != nil {
+			return err
+		}
+		if !ex.Result.Schedulable {
+			fmt.Fprintf(stdout, "UNSCHEDULABLE (%s): %s\n", ex.Result.Scheme, ex.Result.Reason)
+			return nil
+		}
+		fmt.Fprintln(stdout)
+	}
+	res := alloc.Allocate(in)
 
 	if !res.Schedulable {
 		fmt.Fprintf(stdout, "UNSCHEDULABLE (%s): %s\n", res.Scheme, res.Reason)

@@ -169,4 +169,12 @@ func TestExplainFlag(t *testing.T) {
 	if !strings.Contains(out, "hint:") || !strings.Contains(out, "UNSCHEDULABLE") {
 		t.Fatalf("explain infeasible output:\n%s", out)
 	}
+	// The trace only describes the default configuration; combinations that
+	// would allocate differently are refused rather than mis-explained.
+	if _, err := runCLI(t, []string{"-explain", "-policy", "least-loaded"}, sampleDoc); err == nil {
+		t.Fatal("-explain with a non-default policy must error")
+	}
+	if _, err := runCLI(t, []string{"-explain", "-gp"}, sampleDoc); err == nil {
+		t.Fatal("-explain with -gp must error")
+	}
 }

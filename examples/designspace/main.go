@@ -41,13 +41,20 @@ func main() {
 	slackReclamation()
 }
 
-// policyAblation compares HYDRA's commitment policies by acceptance ratio
-// and cumulative tightness at a demanding utilization.
+// policyAblation compares allocation schemes — selected by name from the
+// allocator registry — by acceptance ratio and cumulative tightness at a
+// demanding utilization. Besides HYDRA's three commitment policies it
+// includes the no-period-adaptation bin-packing baseline, quantifying what
+// the paper's period adaptation buys.
 func policyAblation() {
-	fmt.Printf("1. HYDRA commitment-policy ablation (%d cores, U=0.85M, %d tasksets)\n", m, tasksetCount)
-	policies := []core.Policy{core.BestTightness, core.FirstFeasible, core.LeastLoaded}
-	accepted := make([]int, len(policies))
-	tightness := make([]float64, len(policies))
+	fmt.Printf("1. Allocation-scheme ablation (%d cores, U=0.85M, %d tasksets)\n", m, tasksetCount)
+	schemes, err := core.Resolve(
+		"hydra", "hydra-first-feasible", "hydra-least-loaded", "partition-best-fit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	accepted := make([]int, len(schemes))
+	tightness := make([]float64, len(schemes))
 	total := 0
 	for t := 0; t < tasksetCount; t++ {
 		rng := stats.SplitRNG(seed, int64(t))
@@ -64,21 +71,21 @@ func policyAblation() {
 			log.Fatal(err)
 		}
 		total++
-		for pi, pol := range policies {
-			r := core.Hydra(in, core.HydraOptions{Policy: pol})
+		for si, scheme := range schemes {
+			r := scheme.Allocate(in)
 			if r.Schedulable {
-				accepted[pi]++
-				tightness[pi] += r.Cumulative / float64(len(w.Sec))
+				accepted[si]++
+				tightness[si] += r.Cumulative / float64(len(w.Sec))
 			}
 		}
 	}
-	for pi, pol := range policies {
+	for si, scheme := range schemes {
 		mean := 0.0
-		if accepted[pi] > 0 {
-			mean = tightness[pi] / float64(accepted[pi])
+		if accepted[si] > 0 {
+			mean = tightness[si] / float64(accepted[si])
 		}
-		fmt.Printf("   %-16s acceptance %5.1f%%   mean per-task tightness %.3f\n",
-			pol, 100*float64(accepted[pi])/float64(total), mean)
+		fmt.Printf("   %-22s acceptance %5.1f%%   mean per-task tightness %.3f\n",
+			scheme.Name(), 100*float64(accepted[si])/float64(total), mean)
 	}
 	fmt.Println()
 }

@@ -30,31 +30,32 @@ func main() {
 	fmt.Println("UAV case study: worst-case intrusion detection time, HYDRA vs SingleCore")
 	fmt.Println(strings.Repeat("=", 74))
 	for _, row := range res.Rows {
+		hydra, single := row.Schemes[0], row.Schemes[1]
 		fmt.Printf("\n%d cores:\n", row.M)
 		fmt.Printf("  mean detection  HYDRA %8.0f ms   SingleCore %8.0f ms   -> %.2f%% faster\n",
-			row.Hydra.MeanDetection, row.SingleCore.MeanDetection, row.ImprovementPct)
+			hydra.MeanDetection, single.MeanDetection, row.ImprovementPct)
 		fmt.Printf("  90th percentile HYDRA %8.0f ms   SingleCore %8.0f ms\n",
-			row.Hydra.ECDF.Quantile(0.9), row.SingleCore.ECDF.Quantile(0.9))
+			hydra.ECDF.Quantile(0.9), single.ECDF.Quantile(0.9))
 		fmt.Printf("  deadline misses HYDRA %8d      SingleCore %8d (must be 0)\n",
-			row.Hydra.Misses, row.SingleCore.Misses)
+			hydra.Misses, single.Misses)
 
 		fmt.Println("  empirical CDF (detection ms -> probability):")
 		fmt.Print("    time:   ")
-		for _, pt := range row.Hydra.Series {
+		for _, pt := range hydra.Series {
 			fmt.Printf("%7.0f", pt[0])
 		}
 		fmt.Print("\n    HYDRA:  ")
-		for _, pt := range row.Hydra.Series {
+		for _, pt := range hydra.Series {
 			fmt.Printf("%7.2f", pt[1])
 		}
 		fmt.Print("\n    Single: ")
-		for _, pt := range row.SingleCore.Series {
+		for _, pt := range single.Series {
 			fmt.Printf("%7.2f", pt[1])
 		}
 		fmt.Println()
 
 		fmt.Println("  HYDRA allocation:")
-		alloc := row.Hydra.Allocation
+		alloc := hydra.Allocation
 		for i, p := range alloc.Periods {
 			fmt.Printf("    task %d -> core %d, period %6.0f ms (tightness %.2f)\n",
 				i, alloc.Assignment[i], p, alloc.Tightness[i])

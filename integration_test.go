@@ -27,19 +27,20 @@ func TestIntegrationFig1Claim(t *testing.T) {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
 	for _, row := range res.Rows {
+		hyd, sc := row.Schemes[0], row.Schemes[1]
 		if row.ImprovementPct < 10 {
 			t.Errorf("M=%d: improvement %.2f%% below the double-digit claim", row.M, row.ImprovementPct)
 		}
-		if row.Hydra.Misses != 0 || row.SingleCore.Misses != 0 {
+		if hyd.Misses != 0 || sc.Misses != 0 {
 			t.Errorf("M=%d: real-time deadline misses observed", row.M)
 		}
 		// ECDF domination: HYDRA's CDF is never below SingleCore's by more
 		// than sampling noise at any plotted point.
-		for i := range row.Hydra.Series {
-			h, s := row.Hydra.Series[i][1], row.SingleCore.Series[i][1]
+		for i := range hyd.Series {
+			h, s := hyd.Series[i][1], sc.Series[i][1]
 			if h < s-0.05 {
 				t.Errorf("M=%d: HYDRA CDF %0.3f below SingleCore %0.3f at x=%v",
-					row.M, h, s, row.Hydra.Series[i][0])
+					row.M, h, s, hyd.Series[i][0])
 			}
 		}
 	}
@@ -65,8 +66,8 @@ func TestIntegrationFig2Claim(t *testing.T) {
 		t.Errorf("highest utilization improvement = %v, want >= 90", last.ImprovementPct)
 	}
 	for _, p := range pts {
-		if p.HydraAccepted < p.SingleAccepted {
-			t.Errorf("U=%v: HYDRA accepted %d < SingleCore %d", p.TotalUtil, p.HydraAccepted, p.SingleAccepted)
+		if p.Accepted[0] < p.Accepted[1] {
+			t.Errorf("U=%v: HYDRA accepted %d < SingleCore %d", p.TotalUtil, p.Accepted[0], p.Accepted[1])
 		}
 	}
 }

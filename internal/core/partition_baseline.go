@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"hydra/internal/partition"
+	"hydra/internal/rts"
+)
+
+// PartitionBaseline allocates security tasks with a classic bin-packing
+// heuristic at their *desired* periods — no period adaptation at all. It is
+// the "treat security tasks like real-time tasks" strawman the paper argues
+// against: every admitted task runs at maximum tightness (eta = 1), but the
+// scheme rejects any workload whose security tasks do not fit at their
+// densest configuration, where HYDRA would have relaxed periods to fit.
+//
+// Tasks are processed in the paper's priority order (ascending TMax); a core
+// admits a task iff the Eq. (6) test holds at ts = TDes. Among admitting
+// cores the heuristic picks: first-fit the lowest index, best-fit the highest
+// current load, worst-fit the lowest current load, next-fit a cyclic cursor.
+func PartitionBaseline(in *Input, h partition.Heuristic) *Result {
+	scheme := "partition-" + h.String()
+	if err := in.Validate(); err != nil {
+		return newInfeasible(scheme, err.Error())
+	}
+	loads := in.RTLoads()
+	assign := make([]int, len(in.Sec))
+	periods := make([]rts.Time, len(in.Sec))
+	next := 0 // next-fit cursor
+	for _, i := range in.secOrder() {
+		s := in.Sec[i]
+		chosen, err := partition.ChooseCore(h, in.M,
+			func(c int) bool { return s.C+loads[c].LinearInterference(s.TDes) <= s.TDes },
+			func(c int) float64 { return loads[c].SumU },
+			&next)
+		if err != nil {
+			return newInfeasible(scheme, err.Error())
+		}
+		if chosen < 0 {
+			return newInfeasible(scheme,
+				fmt.Sprintf("no core admits security task %q at its desired period %g", s.Name, s.TDes))
+		}
+		assign[i] = chosen
+		periods[i] = s.TDes
+		loads[chosen].AddPeriodic(s.C, s.TDes)
+	}
+	return finalize(in, scheme, assign, periods)
+}

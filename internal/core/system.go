@@ -93,6 +93,12 @@ type Result struct {
 	Tightness   []float64  // eta_s = TDes/T per task
 	Cumulative  float64    // sum of weight * eta over all tasks (Eq. 3)
 	Reason      string     // populated when Schedulable is false
+	// RTPartition records the real-time partition the scheme actually solved
+	// against. Most schemes keep the caller's partition; schemes that
+	// repartition (SingleCore evicts real-time tasks from the dedicated
+	// security core) record their own here so verification and simulation
+	// analyze the problem that was really solved. See EffectiveInput.
+	RTPartition []int
 }
 
 // newInfeasible builds an unschedulable result with a diagnostic reason.
@@ -108,6 +114,7 @@ func finalize(in *Input, scheme string, assign []int, periods []rts.Time) *Resul
 		Assignment:  assign,
 		Periods:     periods,
 		Tightness:   make([]float64, len(in.Sec)),
+		RTPartition: in.RTPartition,
 	}
 	for i, s := range in.Sec {
 		r.Tightness[i] = s.Tightness(periods[i])
@@ -116,12 +123,26 @@ func finalize(in *Input, scheme string, assign []int, periods []rts.Time) *Resul
 	return r
 }
 
+// EffectiveInput returns the allocation problem a result was actually solved
+// against: the given input with the result's recorded real-time partition (if
+// any) substituted. Schemes that keep the caller's partition return the input
+// unchanged; repartitioning schemes like SingleCore return a copy carrying
+// their own partition.
+func EffectiveInput(in *Input, r *Result) *Input {
+	if r == nil || len(r.RTPartition) != len(in.RT) {
+		return in
+	}
+	return &Input{M: in.M, RT: in.RT, RTPartition: r.RTPartition, Sec: in.Sec}
+}
+
 // Verify checks that a schedulable result satisfies every model constraint:
 // exactly one core per task, periods within [TDes, TMax], and the Eq. (6)
 // schedulability test Cs + I_s <= Ts on every core with the linear
 // interference of Eq. (5) from real-time tasks and higher-priority security
-// tasks. It returns nil for a valid result.
+// tasks. Results carrying their own RT partition (see Result.RTPartition) are
+// verified against it. It returns nil for a valid result.
 func Verify(in *Input, r *Result) error {
+	in = EffectiveInput(in, r)
 	if !r.Schedulable {
 		return fmt.Errorf("core: cannot verify an unschedulable result (%s)", r.Reason)
 	}

@@ -17,6 +17,7 @@ import (
 // defence-in-depth check and to quantify the pessimism of the paper's
 // analysis.
 func VerifyExact(in *Input, r *Result) error {
+	in = EffectiveInput(in, r)
 	if !r.Schedulable {
 		return fmt.Errorf("core: cannot verify an unschedulable result (%s)", r.Reason)
 	}
@@ -49,6 +50,7 @@ func VerifyExact(in *Input, r *Result) error {
 // (linear bound)/(exact response time); values > 1 measure the headroom the
 // exact analysis would recover.
 func AnalysisPessimism(in *Input, r *Result) ([]float64, error) {
+	in = EffectiveInput(in, r)
 	if !r.Schedulable {
 		return nil, fmt.Errorf("core: cannot analyse an unschedulable result")
 	}

@@ -1,24 +1,32 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"hydra/internal/core"
+	"hydra/internal/engine"
 	"hydra/internal/partition"
-	"hydra/internal/stats"
 	"hydra/internal/taskgen"
 )
 
 // AblationConfig parametrizes the design-choice sweep of DESIGN.md §5: a
-// grid over HYDRA commitment policies and real-time partition heuristics,
-// measured by acceptance ratio and mean per-task tightness at a fixed
-// utilization level.
+// grid over allocation schemes and real-time partition heuristics, measured
+// by acceptance ratio and mean per-task tightness at a fixed utilization
+// level.
 type AblationConfig struct {
 	M                int
 	UtilFrac         float64 // total utilization as a fraction of M; default 0.8
 	TasksetsPerCell  int     // default 100
 	Seed             int64
 	NonPreemptiveToo bool // additionally evaluate the Sec. V non-preemptive mode
+	// Schemes selects the scheme axis of the grid by registry name; default
+	// the three HYDRA commitment policies. With NonPreemptiveToo, each
+	// scheme's "-np" registry variant is evaluated as well.
+	Schemes []string
+	// Workers bounds the parallel grid workers; 0 selects GOMAXPROCS.
+	Workers int
 }
 
 func (c *AblationConfig) withDefaults() AblationConfig {
@@ -32,12 +40,15 @@ func (c *AblationConfig) withDefaults() AblationConfig {
 	if out.TasksetsPerCell <= 0 {
 		out.TasksetsPerCell = 100
 	}
+	if len(out.Schemes) == 0 {
+		out.Schemes = []string{"hydra", "hydra-first-feasible", "hydra-least-loaded"}
+	}
 	return out
 }
 
-// AblationCell is one (policy, heuristic) grid entry.
+// AblationCell is one (scheme, heuristic) grid entry.
 type AblationCell struct {
-	Policy        core.Policy
+	Scheme        string
 	Heuristic     partition.Heuristic
 	NonPreemptive bool
 	Generated     int
@@ -53,57 +64,114 @@ func (c AblationCell) AcceptanceRatio() float64 {
 	return float64(c.Accepted) / float64(c.Generated)
 }
 
-// RunAblation sweeps the (policy, heuristic) grid on a shared workload
-// stream so cells are directly comparable.
+// RunAblation sweeps the (scheme, heuristic) grid on a shared workload
+// stream so cells are directly comparable: every grid cell sees exactly the
+// same taskset draws. Tasksets are evaluated in parallel on the engine;
+// results are identical for any worker count.
 func RunAblation(cfg AblationConfig) ([]AblationCell, error) {
+	return RunAblationCtx(context.Background(), cfg)
+}
+
+// RunAblationCtx is RunAblation with cancellation.
+func RunAblationCtx(ctx context.Context, cfg AblationConfig) ([]AblationCell, error) {
 	c := cfg.withDefaults()
-	policies := []core.Policy{core.BestTightness, core.FirstFeasible, core.LeastLoaded}
 	heuristics := []partition.Heuristic{partition.FirstFit, partition.BestFit, partition.WorstFit, partition.NextFit}
 	modes := []bool{false}
 	if c.NonPreemptiveToo {
 		modes = append(modes, true)
 	}
 
-	var cells []AblationCell
+	// Flatten the (mode, scheme, heuristic) combos in reporting order.
+	type combo struct {
+		alloc core.Allocator
+		h     partition.Heuristic
+		np    bool
+	}
+	var combos []combo
 	for _, np := range modes {
-		for _, pol := range policies {
-			for _, h := range heuristics {
-				cell := AblationCell{Policy: pol, Heuristic: h, NonPreemptive: np}
-				var tightSum float64
-				for t := 0; t < c.TasksetsPerCell; t++ {
-					rng := stats.SplitRNG(c.Seed, int64(t))
-					w, err := taskgen.Generate(taskgen.DefaultParams(c.M, c.UtilFrac*float64(c.M)), rng)
-					if err != nil {
-						continue
-					}
-					cell.Generated++
-					part, err := partition.PartitionRT(w.RT, c.M, h)
-					if err != nil {
-						continue
-					}
-					in, err := core.NewInput(c.M, w.RT, part.CoreOf, w.Sec)
-					if err != nil {
-						return nil, fmt.Errorf("ablation: %w", err)
-					}
-					var r *core.Result
-					if np {
-						r = core.HydraExt(in, core.ExtOptions{
-							HydraOptions:          core.HydraOptions{Policy: pol},
-							NonPreemptiveSecurity: true,
-						})
-					} else {
-						r = core.Hydra(in, core.HydraOptions{Policy: pol})
-					}
-					if r.Schedulable {
-						cell.Accepted++
-						tightSum += r.Cumulative / float64(len(w.Sec))
-					}
-				}
-				if cell.Accepted > 0 {
-					cell.MeanTightness = tightSum / float64(cell.Accepted)
-				}
-				cells = append(cells, cell)
+		for _, name := range c.Schemes {
+			if np {
+				name += "-np"
 			}
+			allocs, err := core.Resolve(name)
+			if err != nil {
+				return nil, fmt.Errorf("ablation: %w", err)
+			}
+			for _, h := range heuristics {
+				combos = append(combos, combo{alloc: allocs[0], h: h, np: np})
+			}
+		}
+	}
+
+	// One engine cell per taskset draw: the draw is shared across every
+	// combo (paired comparison), so the workload stream depends only on the
+	// draw index — exactly the serial driver's historical stream.
+	type cellResult struct {
+		generated bool
+		accepted  []bool
+		tightness []float64 // per-task mean when accepted
+	}
+	draws := make([]int, c.TasksetsPerCell)
+	for t := range draws {
+		draws[t] = t
+	}
+	results, err := engine.Run(ctx, draws, func(ctx context.Context, idx int, rng *rand.Rand, t int) (cellResult, error) {
+		w, err := taskgen.Generate(taskgen.DefaultParams(c.M, c.UtilFrac*float64(c.M)), rng)
+		if err != nil {
+			return cellResult{}, nil
+		}
+		out := cellResult{
+			generated: true,
+			accepted:  make([]bool, len(combos)),
+			tightness: make([]float64, len(combos)),
+		}
+		// The RT partition depends only on the heuristic; compute each once.
+		parts := make(map[partition.Heuristic][]int, len(heuristics))
+		for _, h := range heuristics {
+			if p, err := partition.PartitionRT(w.RT, c.M, h); err == nil {
+				parts[h] = p.CoreOf
+			}
+		}
+		for i, cb := range combos {
+			coreOf, ok := parts[cb.h]
+			if !ok {
+				continue
+			}
+			in, err := core.NewInput(c.M, w.RT, coreOf, w.Sec)
+			if err != nil {
+				return cellResult{}, err
+			}
+			if r := cb.alloc.Allocate(in); r.Schedulable {
+				out.accepted[i] = true
+				out.tightness[i] = r.Cumulative / float64(len(w.Sec))
+			}
+		}
+		return out, nil
+	}, engine.Options{Workers: c.Workers, Seed: c.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("ablation: %w", err)
+	}
+
+	cells := make([]AblationCell, len(combos))
+	for i, cb := range combos {
+		cells[i] = AblationCell{Scheme: cb.alloc.Name(), Heuristic: cb.h, NonPreemptive: cb.np}
+	}
+	tightSum := make([]float64, len(combos))
+	for _, r := range results {
+		if !r.generated {
+			continue
+		}
+		for i := range combos {
+			cells[i].Generated++
+			if r.accepted[i] {
+				cells[i].Accepted++
+				tightSum[i] += r.tightness[i]
+			}
+		}
+	}
+	for i := range cells {
+		if cells[i].Accepted > 0 {
+			cells[i].MeanTightness = tightSum[i] / float64(cells[i].Accepted)
 		}
 	}
 	return cells, nil

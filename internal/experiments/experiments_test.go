@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -85,18 +86,22 @@ func TestRunFig1SmallScale(t *testing.T) {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
 	for _, row := range r.Rows {
-		if row.Hydra.Misses != 0 || row.SingleCore.Misses != 0 {
-			t.Fatalf("M=%d: deadline misses in simulation: %d/%d", row.M, row.Hydra.Misses, row.SingleCore.Misses)
+		hyd, sc := row.Schemes[0], row.Schemes[1]
+		if hyd.Misses != 0 || sc.Misses != 0 {
+			t.Fatalf("M=%d: deadline misses in simulation: %d/%d", row.M, hyd.Misses, sc.Misses)
 		}
-		if row.Hydra.MeanDetection <= 0 || row.SingleCore.MeanDetection <= 0 {
+		if hyd.MeanDetection <= 0 || sc.MeanDetection <= 0 {
 			t.Fatalf("M=%d: zero mean detection", row.M)
+		}
+		if hyd.Scheme != "hydra" || sc.Scheme != "singlecore" {
+			t.Fatalf("M=%d: scheme order broken: %s/%s", row.M, hyd.Scheme, sc.Scheme)
 		}
 		// The paper's headline: HYDRA detects faster than SingleCore.
 		if row.ImprovementPct <= 0 {
 			t.Fatalf("M=%d: HYDRA should beat SingleCore, improvement=%v", row.M, row.ImprovementPct)
 		}
 		// ECDF series sane: last point at the configured range, monotone.
-		s := row.Hydra.Series
+		s := hyd.Series
 		if len(s) == 0 || s[len(s)-1][0] != 50_000 {
 			t.Fatalf("series range wrong: %v", s[len(s)-1])
 		}
@@ -118,7 +123,7 @@ func TestRunFig1Deterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Rows[0].Hydra.MeanDetection != b.Rows[0].Hydra.MeanDetection {
+	if a.Rows[0].Schemes[0].MeanDetection != b.Rows[0].Schemes[0].MeanDetection {
 		t.Fatal("same seed must reproduce identical results")
 	}
 }
@@ -145,8 +150,53 @@ func TestRunFig2SmallScale(t *testing.T) {
 	}
 	// HYDRA acceptance dominates SingleCore at every point.
 	for _, p := range pts {
-		if p.HydraAccepted < p.SingleAccepted {
-			t.Fatalf("U=%v: HYDRA accepted %d < SingleCore %d", p.TotalUtil, p.HydraAccepted, p.SingleAccepted)
+		if p.Accepted[0] < p.Accepted[1] {
+			t.Fatalf("U=%v: HYDRA accepted %d < SingleCore %d", p.TotalUtil, p.Accepted[0], p.Accepted[1])
+		}
+	}
+}
+
+// The tentpole guarantee at the driver level: the full acceptance-ratio
+// sweep is byte-identical for 1 worker and 8 workers under the same seed.
+func TestRunFig2DeterministicAcrossWorkers(t *testing.T) {
+	base := Fig2Config{M: 2, TasksetsPerPoint: 10, UtilStepFrac: 0.15, Seed: 11}
+	one := base
+	one.Workers = 1
+	eight := base
+	eight.Workers = 8
+	a, err := RunFig2(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig2(eight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("fig2 results differ between 1 and 8 workers")
+	}
+}
+
+// Schemes are selected by registry name; unknown names fail fast and custom
+// scheme lists flow through to the per-point acceptance counts.
+func TestRunFig2SchemeSelection(t *testing.T) {
+	if _, err := RunFig2(Fig2Config{M: 2, TasksetsPerPoint: 2, UtilStepFrac: 0.3, Schemes: []string{"hydra", "bogus"}}); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+	pts, err := RunFig2(Fig2Config{
+		M: 2, TasksetsPerPoint: 10, UtilStepFrac: 0.3, Seed: 7,
+		Schemes: []string{"hydra", "partition-best-fit", "singlecore"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if len(p.Schemes) != 3 || len(p.Accepted) != 3 {
+			t.Fatalf("scheme columns missing: %+v", p)
+		}
+		// Period adaptation dominates the fixed-period bin-packing baseline.
+		if p.Accepted[0] < p.Accepted[1] {
+			t.Fatalf("U=%v: hydra %d < partition baseline %d", p.TotalUtil, p.Accepted[0], p.Accepted[1])
 		}
 	}
 }
@@ -233,7 +283,7 @@ func TestRunAblation(t *testing.T) {
 	}
 	for _, c := range cells {
 		if c.Generated == 0 {
-			t.Fatalf("cell %v/%v generated nothing", c.Policy, c.Heuristic)
+			t.Fatalf("cell %v/%v generated nothing", c.Scheme, c.Heuristic)
 		}
 		if c.AcceptanceRatio() < 0 || c.AcceptanceRatio() > 1 {
 			t.Fatalf("acceptance out of range: %+v", c)
@@ -271,12 +321,12 @@ func TestFig1WorstCaseReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	row := r.Rows[0]
-	if row.Hydra.WorstCase <= 0 || row.SingleCore.WorstCase <= 0 {
-		t.Fatalf("worst case missing: %v / %v", row.Hydra.WorstCase, row.SingleCore.WorstCase)
+	hyd, sc := r.Rows[0].Schemes[0], r.Rows[0].Schemes[1]
+	if hyd.WorstCase <= 0 || sc.WorstCase <= 0 {
+		t.Fatalf("worst case missing: %v / %v", hyd.WorstCase, sc.WorstCase)
 	}
 	// Worst case dominates the sampled mean and the sampled maximum.
-	if row.Hydra.WorstCase < row.Hydra.ECDF.Max() {
-		t.Fatalf("analytic worst case %v below sampled max %v", row.Hydra.WorstCase, row.Hydra.ECDF.Max())
+	if hyd.WorstCase < hyd.ECDF.Max() {
+		t.Fatalf("analytic worst case %v below sampled max %v", hyd.WorstCase, hyd.ECDF.Max())
 	}
 }

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"hydra/internal/core"
 	"hydra/internal/detect"
+	"hydra/internal/engine"
 	"hydra/internal/partition"
 	"hydra/internal/sim"
 	"hydra/internal/stats"
@@ -14,18 +17,26 @@ import (
 // Fig1Config parametrizes the UAV case study (Sec. IV-A). Zero values select
 // the paper's setup.
 type Fig1Config struct {
-	Cores      []int    // platform sizes; default {2, 4, 8}
+	Cores []int // platform sizes; default {2, 4, 8}
+	// Schemes selects the compared allocation schemes by registry name (see
+	// core.Names); default {"hydra", "singlecore"}. ImprovementPct reports
+	// how much faster Schemes[0]'s mean detection is relative to Schemes[1].
+	Schemes    []string
 	Horizon    sim.Time // observation window; default 500 s
 	Attacks    int      // injected attacks per (scheme, M); default 1000
 	Seed       int64    // RNG seed for attack sampling
 	CDFPoints  int      // resolution of the returned ECDF series; default 50
 	CDFRangeMs float64  // x-axis cap of the series; default 50000 ms (paper)
+	Workers    int      // parallel grid workers; 0 = GOMAXPROCS
 }
 
 func (c *Fig1Config) withDefaults() Fig1Config {
 	out := *c
 	if len(out.Cores) == 0 {
 		out.Cores = []int{2, 4, 8}
+	}
+	if len(out.Schemes) == 0 {
+		out.Schemes = []string{"hydra", "singlecore"}
 	}
 	if out.Horizon <= 0 {
 		out.Horizon = 500_000 // 500 s in ms
@@ -54,13 +65,12 @@ type Fig1Scheme struct {
 	Series        [][2]float64 // plot-ready (x, F(x)) pairs
 }
 
-// Fig1Row compares the two schemes for one platform size, matching one
-// subplot of Fig. 1.
+// Fig1Row compares the configured schemes for one platform size, matching
+// one subplot of Fig. 1. Schemes is parallel to Fig1Config.Schemes.
 type Fig1Row struct {
 	M              int
-	Hydra          Fig1Scheme
-	SingleCore     Fig1Scheme
-	ImprovementPct float64 // (mean_SC - mean_HYDRA)/mean_SC * 100
+	Schemes        []Fig1Scheme
+	ImprovementPct float64 // (mean_1 - mean_0)/mean_1 * 100 for the first two schemes
 }
 
 // Fig1Result is the full figure.
@@ -70,53 +80,67 @@ type Fig1Result struct {
 }
 
 // RunFig1 reproduces Fig. 1: for each platform size, allocate the UAV
-// security workload with HYDRA and with SingleCore, simulate the resulting
+// security workload with every configured scheme, simulate the resulting
 // schedules over the observation window, inject the *same* random attack
-// sequence against both, and report detection-time ECDFs plus the mean
-// improvement. The paper reports ~19.8 % / 27.2 % / 29.8 % faster mean
-// detection for HYDRA at 2 / 4 / 8 cores.
+// sequence against all of them (paired comparison), and report
+// detection-time ECDFs plus the mean improvement of the first scheme over
+// the second. The paper reports ~19.8 % / 27.2 % / 29.8 % faster mean
+// detection for HYDRA over SingleCore at 2 / 4 / 8 cores. Platform sizes are
+// evaluated in parallel on the engine; results are identical for any worker
+// count.
 func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
+	return RunFig1Ctx(context.Background(), cfg)
+}
+
+// RunFig1Ctx is RunFig1 with cancellation.
+func RunFig1Ctx(ctx context.Context, cfg Fig1Config) (*Fig1Result, error) {
 	c := cfg.withDefaults()
+	allocs, err := core.Resolve(c.Schemes...)
+	if err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+	if len(allocs) < 2 {
+		return nil, fmt.Errorf("fig1: need at least two schemes to compare, got %d", len(allocs))
+	}
 	rt := uav.RTTasks()
 	sec := uav.SecurityTaskSet()
-	out := &Fig1Result{Config: c}
 
-	for _, m := range c.Cores {
-		// Identical attack sequence for both schemes: paired comparison.
-		rng := stats.SplitRNG(c.Seed, int64(m))
+	rows, err := engine.Run(ctx, c.Cores, func(ctx context.Context, idx int, rng *rand.Rand, m int) (Fig1Row, error) {
+		// Identical attack sequence for every scheme: paired comparison.
 		attacks := detect.SampleAttacks(rng, c.Attacks, len(sec), c.Horizon, 0.8)
 
-		hydraPart, err := core.PartitionForHydra(rt, m, partition.BestFit)
+		part, err := core.PartitionForHydra(rt, m, partition.BestFit)
 		if err != nil {
-			return nil, fmt.Errorf("fig1: M=%d: partition RT tasks: %w", m, err)
+			return Fig1Row{}, fmt.Errorf("M=%d: partition RT tasks: %w", m, err)
 		}
-		hydraIn, err := core.NewInput(m, rt, hydraPart, sec)
+		in, err := core.NewInput(m, rt, part, sec)
 		if err != nil {
-			return nil, fmt.Errorf("fig1: M=%d: %w", m, err)
+			return Fig1Row{}, fmt.Errorf("M=%d: %w", m, err)
 		}
-		hydraRes := core.Hydra(hydraIn, core.HydraOptions{})
-		hyd, err := measureScheme(hydraIn, hydraRes, attacks, c)
-		if err != nil {
-			return nil, fmt.Errorf("fig1: M=%d hydra: %w", m, err)
+		row := Fig1Row{M: m}
+		for _, a := range allocs {
+			res := a.Allocate(in)
+			ms, err := measureScheme(core.EffectiveInput(in, res), res, attacks, c)
+			if err != nil {
+				return Fig1Row{}, fmt.Errorf("M=%d %s: %w", m, a.Name(), err)
+			}
+			row.Schemes = append(row.Schemes, *ms)
 		}
-
-		scIn, err := core.NewSingleCoreInput(m, rt, sec, partition.BestFit)
-		if err != nil {
-			return nil, fmt.Errorf("fig1: M=%d singlecore: %w", m, err)
+		if base := row.Schemes[1].MeanDetection; base > 0 {
+			row.ImprovementPct = (base - row.Schemes[0].MeanDetection) / base * 100
 		}
-		scRes := core.SingleCoreInput(scIn)
-		sc, err := measureScheme(scIn, scRes, attacks, c)
-		if err != nil {
-			return nil, fmt.Errorf("fig1: M=%d singlecore: %w", m, err)
-		}
-
-		row := Fig1Row{M: m, Hydra: *hyd, SingleCore: *sc}
-		if sc.MeanDetection > 0 {
-			row.ImprovementPct = (sc.MeanDetection - hyd.MeanDetection) / sc.MeanDetection * 100
-		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	}, engine.Options{
+		Workers: c.Workers,
+		Seed:    c.Seed,
+		// Stream by platform size: the attack sequence for a given (seed, M)
+		// does not depend on which other sizes are swept.
+		Stream: func(idx int) int64 { return int64(c.Cores[idx]) },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
 	}
-	return out, nil
+	return &Fig1Result{Config: c, Rows: rows}, nil
 }
 
 // measureScheme simulates one allocation and measures the attack campaign.

@@ -1,25 +1,39 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"hydra/internal/core"
+	"hydra/internal/engine"
 	"hydra/internal/partition"
 	"hydra/internal/rts"
-	"hydra/internal/stats"
 	"hydra/internal/taskgen"
 )
 
 // Fig2Config parametrizes the synthetic acceptance-ratio experiment
 // (Sec. IV-B.1). Zero values select the paper's setup: utilization swept
-// from 0.025M to 0.975M in steps of 0.025M, 250 tasksets per point.
+// from 0.025M to 0.975M in steps of 0.025M, 250 tasksets per point, HYDRA
+// against the SingleCore baseline.
 type Fig2Config struct {
 	M                int
 	TasksetsPerPoint int     // default 250 (paper)
 	UtilStepFrac     float64 // default 0.025 (of M)
 	Seed             int64
-	Heuristic        partition.Heuristic // RT partitioning; default best-fit
-	Policy           core.Policy         // HYDRA commitment policy ablation
+	// Heuristic partitions the real-time tasks of the shared input (zero
+	// value: best-fit, the paper's choice). The "singlecore" scheme, which
+	// repartitions the RT tasks itself, is rebuilt with this same heuristic
+	// so the comparison arms stay apples-to-apples when the heuristic is
+	// swept.
+	Heuristic partition.Heuristic
+	Policy    core.Policy // HYDRA commitment policy; selects the hydra variant when Schemes is empty
+	// Schemes selects the allocation schemes by registry name (see
+	// core.Names). Default: the HYDRA variant for Policy, then "singlecore".
+	// ImprovementPct compares Schemes[0] against Schemes[1].
+	Schemes []string
+	// Workers bounds the parallel grid workers; 0 selects GOMAXPROCS.
+	Workers int
 }
 
 func (c *Fig2Config) withDefaults() Fig2Config {
@@ -30,73 +44,158 @@ func (c *Fig2Config) withDefaults() Fig2Config {
 	if out.UtilStepFrac <= 0 {
 		out.UtilStepFrac = 0.025
 	}
+	if len(out.Schemes) == 0 {
+		out.Schemes = []string{
+			core.NewHydraAllocator(core.HydraOptions{Policy: out.Policy}).Name(),
+			"singlecore",
+		}
+	}
 	return out
 }
 
 // Fig2Point is one x-position of the figure: a total-utilization level with
-// the acceptance ratios of both schemes.
+// the acceptance counts of every compared scheme.
 type Fig2Point struct {
-	TotalUtil      float64
-	Generated      int // tasksets passing the Eq. 1 necessary condition
-	HydraAccepted  int
-	SingleAccepted int
-	// ImprovementPct is (delta_HYDRA - delta_SingleCore)/delta_HYDRA * 100,
-	// in [0, 100] when HYDRA dominates. (The paper prints the formula with
-	// the subscripts swapped but plots exactly this quantity; see
-	// EXPERIMENTS.md.)
+	TotalUtil float64
+	Generated int      // tasksets passing the Eq. 1 necessary condition
+	Schemes   []string // scheme names, in Fig2Config.Schemes order
+	Accepted  []int    // accepted tasksets per scheme, parallel to Schemes
+	// ImprovementPct is (delta_0 - delta_1)/delta_0 * 100 for the first two
+	// schemes, clamped to [0, 100] when scheme 0 dominates. With the default
+	// schemes this is the paper's HYDRA-over-SingleCore improvement. (The
+	// paper prints the formula with the subscripts swapped but plots exactly
+	// this quantity; see EXPERIMENTS.md.)
 	ImprovementPct float64
 }
 
-// HydraRatio returns delta_HYDRA.
-func (p Fig2Point) HydraRatio() float64 {
-	if p.Generated == 0 {
+// Ratio returns the acceptance ratio delta of scheme i.
+func (p Fig2Point) Ratio(i int) float64 {
+	if p.Generated == 0 || i < 0 || i >= len(p.Accepted) {
 		return 0
 	}
-	return float64(p.HydraAccepted) / float64(p.Generated)
+	return float64(p.Accepted[i]) / float64(p.Generated)
 }
 
-// SingleRatio returns delta_SingleCore.
-func (p Fig2Point) SingleRatio() float64 {
-	if p.Generated == 0 {
-		return 0
-	}
-	return float64(p.SingleAccepted) / float64(p.Generated)
-}
+// HydraRatio returns the acceptance ratio of the first scheme (HYDRA under
+// the default configuration).
+func (p Fig2Point) HydraRatio() float64 { return p.Ratio(0) }
+
+// SingleRatio returns the acceptance ratio of the second scheme (SingleCore
+// under the default configuration).
+func (p Fig2Point) SingleRatio() float64 { return p.Ratio(1) }
 
 // RunFig2 reproduces one subplot of Fig. 2 (one M). For every utilization
 // level it generates random workloads (Randfixedsum utilizations, paper
 // parameter ranges), filters by the Eq. 1 necessary condition, and counts
-// how many each scheme schedules.
+// how many each scheme schedules. The (level, taskset) grid is evaluated on
+// the parallel engine; results are identical for any worker count.
 func RunFig2(cfg Fig2Config) ([]Fig2Point, error) {
+	return RunFig2Ctx(context.Background(), cfg)
+}
+
+// RunFig2Ctx is RunFig2 with cancellation.
+func RunFig2Ctx(ctx context.Context, cfg Fig2Config) ([]Fig2Point, error) {
 	c := cfg.withDefaults()
 	if c.M < 2 {
 		return nil, fmt.Errorf("fig2: M must be >= 2 (SingleCore needs a spare core), got %d", c.M)
 	}
-	var points []Fig2Point
+	allocs, err := core.Resolve(c.Schemes...)
+	if err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	// Rebuild singlecore with the swept heuristic so the comparison arms
+	// stay apples-to-apples, and remember which schemes partition the RT
+	// tasks themselves — those can run even when the shared M-core
+	// partition fails.
+	selfPartitions := make([]bool, len(allocs))
+	for i, a := range allocs {
+		if a.Name() == "singlecore" {
+			allocs[i] = core.NewSingleCoreAllocator(c.Heuristic)
+		}
+		selfPartitions[i] = core.SelfPartitions(allocs[i])
+	}
+
+	type cell struct {
+		k, t int
+		util float64
+	}
+	type cellResult struct {
+		generated bool
+		accepted  []bool
+	}
 	mf := float64(c.M)
 	steps := int(0.975/c.UtilStepFrac + 1e-9)
+	cells := make([]cell, 0, steps*c.TasksetsPerPoint)
 	for k := 1; k <= steps; k++ {
 		util := c.UtilStepFrac * float64(k) * mf
-		pt := Fig2Point{TotalUtil: util}
 		for t := 0; t < c.TasksetsPerPoint; t++ {
-			rng := stats.SplitRNG(c.Seed, int64(k)<<32|int64(t))
-			w, err := taskgen.Generate(taskgen.DefaultParams(c.M, util), rng)
-			if err != nil {
-				continue // utilization not splittable at this draw; rare
+			cells = append(cells, cell{k: k, t: t, util: util})
+		}
+	}
+
+	results, err := engine.Run(ctx, cells, func(ctx context.Context, idx int, rng *rand.Rand, cl cell) (cellResult, error) {
+		w, err := taskgen.Generate(taskgen.DefaultParams(c.M, cl.util), rng)
+		if err != nil {
+			return cellResult{}, nil // utilization not splittable at this draw; rare
+		}
+		if !necessaryCondition(w, c.M) {
+			return cellResult{}, nil // trivially unschedulable; excluded per the paper
+		}
+		out := cellResult{generated: true, accepted: make([]bool, len(allocs))}
+		part, err := partition.PartitionRT(w.RT, c.M, c.Heuristic)
+		if err != nil {
+			// The shared M-core partition failed. Partition-dependent schemes
+			// reject, but self-partitioning schemes (singlecore repacks onto
+			// M-1 cores with exact-RTA admission, where bin-packing anomalies
+			// can still succeed) get their shot on a placeholder partition.
+			in := &core.Input{M: c.M, RT: w.RT, RTPartition: make([]int, len(w.RT)), Sec: w.Sec}
+			for i, a := range allocs {
+				if selfPartitions[i] {
+					out.accepted[i] = a.Allocate(in).Schedulable
+				}
 			}
-			if !necessaryCondition(w, c.M) {
-				continue // trivially unschedulable; excluded per the paper
+			return out, nil
+		}
+		in, err := core.NewInput(c.M, w.RT, part.CoreOf, w.Sec)
+		if err != nil {
+			return cellResult{}, err
+		}
+		for i, a := range allocs {
+			out.accepted[i] = a.Allocate(in).Schedulable
+		}
+		return out, nil
+	}, engine.Options{
+		Workers: c.Workers,
+		Seed:    c.Seed,
+		// Stream by (level, draw) so the workload stream is stable under
+		// grid reshaping (matching the serial driver's historical streams).
+		Stream: func(idx int) int64 { return int64(cells[idx].k)<<32 | int64(cells[idx].t) },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+
+	points := make([]Fig2Point, 0, steps)
+	for k := 1; k <= steps; k++ {
+		pt := Fig2Point{
+			TotalUtil: c.UtilStepFrac * float64(k) * mf,
+			Schemes:   c.Schemes,
+			Accepted:  make([]int, len(allocs)),
+		}
+		for t := 0; t < c.TasksetsPerPoint; t++ {
+			r := results[(k-1)*c.TasksetsPerPoint+t]
+			if !r.generated {
+				continue
 			}
 			pt.Generated++
-			if hydraAccepts(w, c.M, c.Heuristic, c.Policy) {
-				pt.HydraAccepted++
-			}
-			if singleAccepts(w, c.M, c.Heuristic) {
-				pt.SingleAccepted++
+			for i, ok := range r.accepted {
+				if ok {
+					pt.Accepted[i]++
+				}
 			}
 		}
-		if pt.HydraAccepted > 0 {
-			pt.ImprovementPct = (pt.HydraRatio() - pt.SingleRatio()) / pt.HydraRatio() * 100
+		if len(pt.Accepted) >= 2 && pt.Accepted[0] > 0 {
+			pt.ImprovementPct = (pt.Ratio(0) - pt.Ratio(1)) / pt.Ratio(0) * 100
 			if pt.ImprovementPct < 0 {
 				pt.ImprovementPct = 0
 			}
@@ -114,22 +213,4 @@ func necessaryCondition(w *taskgen.Workload, m int) bool {
 		all = append(all, rts.NewRTTask(s.Name, s.C, s.TDes))
 	}
 	return rts.NecessaryConditionHolds(all, m)
-}
-
-// hydraAccepts reports whether HYDRA schedules the workload on m cores.
-func hydraAccepts(w *taskgen.Workload, m int, h partition.Heuristic, pol core.Policy) bool {
-	part, err := partition.PartitionRT(w.RT, m, h)
-	if err != nil {
-		return false
-	}
-	in, err := core.NewInput(m, w.RT, part.CoreOf, w.Sec)
-	if err != nil {
-		return false
-	}
-	return core.Hydra(in, core.HydraOptions{Policy: pol}).Schedulable
-}
-
-// singleAccepts reports whether the SingleCore scheme schedules the workload.
-func singleAccepts(w *taskgen.Workload, m int, h partition.Heuristic) bool {
-	return core.SingleCore(m, w.RT, w.Sec, h).Schedulable
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"hydra/internal/core"
+	"hydra/internal/engine"
 	"hydra/internal/partition"
-	"hydra/internal/stats"
 	"hydra/internal/taskgen"
 )
 
@@ -19,11 +21,16 @@ type Fig3Config struct {
 	TasksetsPerPoint int     // default 50
 	UtilStepFrac     float64 // default 0.05 (of M)
 	Seed             int64
+	// Scheme names the allocator measured against the optimal baseline
+	// (registry name, see core.Names); default "hydra".
+	Scheme string
 	// RefineJointGP refines each per-core period vector of the optimal
 	// baseline with the signomial sequential-GP maximizer (slower, slightly
 	// tighter optimum). Off by default; the assignment enumeration is the
 	// dominant effect.
 	RefineJointGP bool
+	// Workers bounds the parallel grid workers; 0 selects GOMAXPROCS.
+	Workers int
 }
 
 func (c *Fig3Config) withDefaults() Fig3Config {
@@ -43,55 +50,101 @@ func (c *Fig3Config) withDefaults() Fig3Config {
 	if out.UtilStepFrac <= 0 {
 		out.UtilStepFrac = 0.05
 	}
+	if out.Scheme == "" {
+		out.Scheme = "hydra"
+	}
 	return out
 }
 
 // Fig3Point is one utilization level of the figure.
 type Fig3Point struct {
 	TotalUtil  float64
-	Compared   int     // tasksets where both HYDRA and OPT were schedulable
-	MeanGapPct float64 // mean (eta_OPT - eta_HYDRA)/eta_OPT * 100
+	Compared   int     // tasksets where both the scheme and OPT were schedulable
+	MeanGapPct float64 // mean (eta_OPT - eta_scheme)/eta_OPT * 100
 	MaxGapPct  float64
 }
 
 // RunFig3 reproduces Fig. 3: for each utilization level, draw small
-// workloads, run HYDRA and the exhaustive optimal baseline, and average the
-// cumulative-tightness gap over instances both schemes schedule.
+// workloads, run the configured scheme and the exhaustive optimal baseline,
+// and average the cumulative-tightness gap over instances both schemes
+// schedule. The grid runs on the parallel engine; results are identical for
+// any worker count.
 func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
+	return RunFig3Ctx(context.Background(), cfg)
+}
+
+// RunFig3Ctx is RunFig3 with cancellation.
+func RunFig3Ctx(ctx context.Context, cfg Fig3Config) ([]Fig3Point, error) {
 	c := cfg.withDefaults()
-	var points []Fig3Point
+	allocs, err := core.Resolve(c.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+	alloc := allocs[0]
+	optimal := core.NewOptimalAllocator(core.OptimalOptions{RefineJointGP: c.RefineJointGP})
+
+	type cell struct {
+		k, t int
+		util float64
+	}
+	type cellResult struct {
+		compared bool
+		gap      float64
+	}
 	mf := float64(c.M)
 	steps := int(0.975/c.UtilStepFrac + 1e-9)
+	cells := make([]cell, 0, steps*c.TasksetsPerPoint)
 	for k := 1; k <= steps; k++ {
 		util := c.UtilStepFrac * float64(k) * mf
-		pt := Fig3Point{TotalUtil: util}
+		for t := 0; t < c.TasksetsPerPoint; t++ {
+			cells = append(cells, cell{k: k, t: t, util: util})
+		}
+	}
+
+	results, err := engine.Run(ctx, cells, func(ctx context.Context, idx int, rng *rand.Rand, cl cell) (cellResult, error) {
+		params := taskgen.DefaultParams(c.M, cl.util)
+		params.NS = c.NSMin + rng.Intn(c.NSMax-c.NSMin+1)
+		w, err := taskgen.Generate(params, rng)
+		if err != nil {
+			return cellResult{}, nil
+		}
+		part, err := partition.PartitionRT(w.RT, c.M, partition.BestFit)
+		if err != nil {
+			return cellResult{}, nil
+		}
+		in, err := core.NewInput(c.M, w.RT, part.CoreOf, w.Sec)
+		if err != nil {
+			return cellResult{}, err
+		}
+		hyd := alloc.Allocate(in)
+		opt := optimal.Allocate(in)
+		gap, ok := core.TightnessGap(opt, hyd)
+		if !ok {
+			return cellResult{}, nil
+		}
+		return cellResult{compared: true, gap: gap}, nil
+	}, engine.Options{
+		Workers: c.Workers,
+		Seed:    c.Seed + 1000, // historical stream offset of the serial driver
+		Stream:  func(idx int) int64 { return int64(cells[idx].k)<<32 | int64(cells[idx].t) },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+
+	points := make([]Fig3Point, 0, steps)
+	for k := 1; k <= steps; k++ {
+		pt := Fig3Point{TotalUtil: c.UtilStepFrac * float64(k) * mf}
 		var sum float64
 		for t := 0; t < c.TasksetsPerPoint; t++ {
-			rng := stats.SplitRNG(c.Seed+1000, int64(k)<<32|int64(t))
-			params := taskgen.DefaultParams(c.M, util)
-			params.NS = c.NSMin + rng.Intn(c.NSMax-c.NSMin+1)
-			w, err := taskgen.Generate(params, rng)
-			if err != nil {
-				continue
-			}
-			part, err := partition.PartitionRT(w.RT, c.M, partition.BestFit)
-			if err != nil {
-				continue
-			}
-			in, err := core.NewInput(c.M, w.RT, part.CoreOf, w.Sec)
-			if err != nil {
-				return nil, fmt.Errorf("fig3: %w", err)
-			}
-			hyd := core.Hydra(in, core.HydraOptions{})
-			opt := core.Optimal(in, core.OptimalOptions{RefineJointGP: c.RefineJointGP})
-			gap, ok := core.TightnessGap(opt, hyd)
-			if !ok {
+			r := results[(k-1)*c.TasksetsPerPoint+t]
+			if !r.compared {
 				continue
 			}
 			pt.Compared++
-			sum += gap
-			if gap > pt.MaxGapPct {
-				pt.MaxGapPct = gap
+			sum += r.gap
+			if r.gap > pt.MaxGapPct {
+				pt.MaxGapPct = r.gap
 			}
 		}
 		if pt.Compared > 0 {

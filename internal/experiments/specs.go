@@ -25,8 +25,11 @@ const secPrioBase = 1 << 20
 // security tasks sit in a strictly lower band, ordered by the paper's
 // smaller-TMax-first rule. It also returns, for each security task (input
 // order), its core and its spec index within that core — the mapping a
-// detection campaign needs.
+// detection campaign needs. Like core.Verify, it honors the RT partition the
+// result was actually solved against (Result.RTPartition), so schemes that
+// repartition internally simulate correctly.
 func BuildSimSpecs(in *core.Input, res *core.Result) ([][]sim.TaskSpec, []int, []int, error) {
+	in = core.EffectiveInput(in, res)
 	if !res.Schedulable {
 		return nil, nil, nil, fmt.Errorf("experiments: cannot simulate unschedulable result (%s)", res.Reason)
 	}

@@ -8,6 +8,7 @@ package partition
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"hydra/internal/rts"
 )
@@ -16,11 +17,13 @@ import (
 type Heuristic int
 
 const (
-	// FirstFit assigns each task to the lowest-indexed core that admits it.
-	FirstFit Heuristic = iota
 	// BestFit assigns to the admitting core with the least remaining
-	// capacity (highest utilization) — the paper's choice.
-	BestFit
+	// capacity (highest utilization) — the paper's choice, and therefore
+	// the zero value: configs that leave their heuristic unset get the
+	// paper's setup.
+	BestFit Heuristic = iota
+	// FirstFit assigns each task to the lowest-indexed core that admits it.
+	FirstFit
 	// WorstFit assigns to the admitting core with the most remaining capacity.
 	WorstFit
 	// NextFit keeps a moving current core, advancing (cyclically, one lap)
@@ -107,42 +110,12 @@ func PartitionRT(tasks []rts.RTTask, m int, h Heuristic) (*Partition, error) {
 	next := 0 // NextFit cursor
 	for _, ti := range order {
 		task := tasks[ti]
-		chosen := -1
-		switch h {
-		case FirstFit:
-			for c := 0; c < m; c++ {
-				if admits(perCore[c], task) {
-					chosen = c
-					break
-				}
-			}
-		case BestFit:
-			bestU := -1.0
-			for c := 0; c < m; c++ {
-				if admits(perCore[c], task) && util[c] > bestU {
-					bestU = util[c]
-					chosen = c
-				}
-			}
-		case WorstFit:
-			bestU := 2.0
-			for c := 0; c < m; c++ {
-				if admits(perCore[c], task) && util[c] < bestU {
-					bestU = util[c]
-					chosen = c
-				}
-			}
-		case NextFit:
-			for tries := 0; tries < m; tries++ {
-				c := (next + tries) % m
-				if admits(perCore[c], task) {
-					chosen = c
-					next = c
-					break
-				}
-			}
-		default:
-			return nil, fmt.Errorf("partition: unknown heuristic %v", h)
+		chosen, err := ChooseCore(h, m,
+			func(c int) bool { return admits(perCore[c], task) },
+			func(c int) float64 { return util[c] },
+			&next)
+		if err != nil {
+			return nil, err
 		}
 		if chosen < 0 {
 			return nil, fmt.Errorf("%w: task %q (U=%.3f) on %d cores with %v",
@@ -153,6 +126,54 @@ func PartitionRT(tasks []rts.RTTask, m int, h Heuristic) (*Partition, error) {
 		coreOf[ti] = chosen
 	}
 	return &Partition{M: m, CoreOf: coreOf}, nil
+}
+
+// ChooseCore applies a bin-packing heuristic to one placement decision over
+// cores 0..m-1: admits reports whether a core can take the item, util is the
+// load metric the fit heuristics compare, and cursor carries the NextFit
+// position across calls. It returns -1 when no core admits the item, and an
+// error for an unknown heuristic. Both the real-time partitioner and the
+// security-task bin-packing baseline route their selection through here so
+// tie-breaking stays identical.
+func ChooseCore(h Heuristic, m int, admits func(int) bool, util func(int) float64, cursor *int) (int, error) {
+	chosen := -1
+	switch h {
+	case FirstFit:
+		for c := 0; c < m; c++ {
+			if admits(c) {
+				chosen = c
+				break
+			}
+		}
+	case BestFit:
+		bestU := -1.0
+		for c := 0; c < m; c++ {
+			if admits(c) && util(c) > bestU {
+				bestU = util(c)
+				chosen = c
+			}
+		}
+	case WorstFit:
+		bestU := math.Inf(1)
+		for c := 0; c < m; c++ {
+			if admits(c) && util(c) < bestU {
+				bestU = util(c)
+				chosen = c
+			}
+		}
+	case NextFit:
+		for tries := 0; tries < m; tries++ {
+			c := (*cursor + tries) % m
+			if admits(c) {
+				chosen = c
+				*cursor = c
+				break
+			}
+		}
+	default:
+		return -1, fmt.Errorf("partition: unknown heuristic %v", h)
+	}
+	return chosen, nil
 }
 
 // admits reports whether adding task to the core keeps it RTA-schedulable.

@@ -2,28 +2,57 @@ package rts
 
 import "math"
 
+// MaxRTAIterations caps the fixed-point iteration of the response-time
+// analyses. The iterate sequence is monotonically non-decreasing and exits as
+// soon as it exceeds the deadline, so the cap only triggers on pathological
+// tasksets whose fixed point lies below the deadline but is approached in
+// tiny steps (utilization within ~d/MaxRTAIterations of 1 with small WCETs).
+const MaxRTAIterations = 10000
+
 // ResponseTime computes the exact worst-case response time of a task with
 // WCET c and deadline d, suffering preemption from the higher-priority tasks
 // hp (each contributing ceil(R/T)*C), by the standard fixed-point iteration
 // of Audsley et al. [16]. It returns the response time and true when the
 // iteration converges with R <= d; otherwise it returns the last iterate and
 // false.
+//
+// The false outcome folds together a proven deadline miss and the (rare)
+// failure to converge within MaxRTAIterations; both are safe to treat as
+// unschedulable, since the iterate sequence only ever grows toward the true
+// response time. Callers that need to tell the two apart (e.g. to report a
+// diagnostic instead of a miss) use ResponseTimeFull.
 func ResponseTime(c Time, d Time, hp []RTTask) (Time, bool) {
-	r := c
-	for iter := 0; iter < 10000; iter++ {
+	r, schedulable, _ := ResponseTimeFull(c, d, hp)
+	return r, schedulable
+}
+
+// ResponseTimeFull is ResponseTime with an explicit divergence contract:
+//
+//   - schedulable && converged: r is the exact response time, r <= d;
+//   - !schedulable && converged: proven miss — the demand at the last
+//     iterate already exceeds d (r > d);
+//   - !schedulable && !converged: the iteration hit MaxRTAIterations while
+//     still below d. The exact response time is unknown but >= r; treating
+//     the task as unschedulable is conservative, never unsound.
+//
+// schedulable && !converged is impossible: schedulability is only ever
+// reported at a reached fixed point.
+func ResponseTimeFull(c Time, d Time, hp []RTTask) (r Time, schedulable, converged bool) {
+	r = c
+	for iter := 0; iter < MaxRTAIterations; iter++ {
 		next := c
 		for _, h := range hp {
 			next += math.Ceil(r/h.T) * h.C
 		}
 		if next == r {
-			return r, r <= d
+			return r, r <= d, true
 		}
 		if next > d {
-			return next, false
+			return next, false, true
 		}
 		r = next
 	}
-	return r, false
+	return r, false, false
 }
 
 // CoreSchedulable reports whether the given real-time tasks, all assigned to

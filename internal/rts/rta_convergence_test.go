@@ -1,0 +1,72 @@
+package rts
+
+import "testing"
+
+// Pathological slow convergence: a single interferer with utilization within
+// ~1e-4 of 1 makes the fixed point R ~= c/(1-U) ~ 15000, approached in steps
+// of ~C = 1, i.e. ~15000 iterations — beyond MaxRTAIterations — while the
+// deadline (20000) is never exceeded along the way. The old code returned a
+// bare false here, indistinguishable from a proven miss; the contract now
+// reports the divergence explicitly.
+func TestResponseTimeNonConvergenceReported(t *testing.T) {
+	hp := []RTTask{NewRTTask("creep", 1, 1.0001)}
+	c, d := Time(1.5), Time(20000)
+
+	r, schedulable, converged := ResponseTimeFull(c, d, hp)
+	if schedulable {
+		t.Fatalf("pathological taskset reported schedulable (r=%g)", r)
+	}
+	if converged {
+		t.Fatalf("iteration cannot converge in %d iterations, got converged=true (r=%g)", MaxRTAIterations, r)
+	}
+	if r > d {
+		t.Fatalf("non-convergent iterate %g must still be below the deadline %g", r, d)
+	}
+	// The wrapper folds divergence into the conservative false.
+	if _, ok := ResponseTime(c, d, hp); ok {
+		t.Fatal("ResponseTime must treat non-convergence as unschedulable")
+	}
+}
+
+// A genuine miss is reported as converged: the demand provably exceeds the
+// deadline.
+func TestResponseTimeMissIsConverged(t *testing.T) {
+	hp := []RTTask{NewRTTask("hog", 6, 10)}
+	r, schedulable, converged := ResponseTimeFull(5, 10, hp)
+	if schedulable {
+		t.Fatalf("r=%g should miss d=10", r)
+	}
+	if !converged {
+		t.Fatal("a proven miss must be reported as converged")
+	}
+	if r <= 10 {
+		t.Fatalf("missing iterate %g should exceed the deadline", r)
+	}
+}
+
+// The happy path still reports the exact fixed point.
+func TestResponseTimeFullConverges(t *testing.T) {
+	hp := []RTTask{NewRTTask("a", 1, 4), NewRTTask("b", 1, 5)}
+	r, schedulable, converged := ResponseTimeFull(2, 10, hp)
+	if !schedulable || !converged {
+		t.Fatalf("schedulable=%v converged=%v", schedulable, converged)
+	}
+	// R = 2 + ceil(R/4) + ceil(R/5): fixed point at R = 4.
+	if r != 4 {
+		t.Fatalf("r = %g, want 4", r)
+	}
+	// schedulable implies converged by contract — spot-check a few shapes.
+	cases := []struct {
+		c, d Time
+		hp   []RTTask
+	}{
+		{1, 2, nil},
+		{3, 100, []RTTask{NewRTTask("x", 2, 7)}},
+		{0.5, 4, []RTTask{NewRTTask("y", 1, 3), NewRTTask("z", 0.5, 5)}},
+	}
+	for _, tc := range cases {
+		if _, ok, conv := ResponseTimeFull(tc.c, tc.d, tc.hp); ok && !conv {
+			t.Fatalf("contract violation: schedulable without convergence for %+v", tc)
+		}
+	}
+}
