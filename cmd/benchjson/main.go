@@ -1,0 +1,94 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// machine-readable JSON document (stdout), so CI can publish benchmark
+// trajectories as artifacts instead of burying them in logs:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics carries every further "<value> <unit>" pair from the line
+	// (B/op, allocs/op, and any custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(r io.Reader, w io.Writer) error {
+	report := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		b, ok, err := parseLine(sc.Text())
+		if err != nil {
+			return err
+		}
+		if ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&report)
+}
+
+// parseLine parses one "BenchmarkX-8  10  123 ns/op  45 B/op ..." line; ok
+// is false for every other line (package headers, PASS, ok, ...).
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil // e.g. "BenchmarkX ... --- SKIP" shapes
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("line %q: bad value %q", line, fields[i])
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = val
+			seenNs = true
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = val
+	}
+	if !seenNs {
+		return Benchmark{}, false, fmt.Errorf("line %q: no ns/op field", line)
+	}
+	return b, true, nil
+}

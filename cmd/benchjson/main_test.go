@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: hydra/internal/service
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkServeAllocateCold     	      10	     44401 ns/op	   14735 B/op	     135 allocs/op
+BenchmarkServeAllocateCacheHit 	    1000	      4187.5 ns/op	   10737 B/op	      76 allocs/op
+PASS
+ok  	hydra/internal/service	0.007s
+pkg: hydra/internal/engine
+BenchmarkEngineGrid/workers=8-8 	       1	  31415926 ns/op
+ok  	hydra/internal/engine	0.100s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(strings.NewReader(sampleBenchOutput), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3:\n%s", len(rep.Benchmarks), sb.String())
+	}
+	cold := rep.Benchmarks[0]
+	if cold.Name != "BenchmarkServeAllocateCold" || cold.Iterations != 10 || cold.NsPerOp != 44401 {
+		t.Fatalf("cold: %+v", cold)
+	}
+	if cold.Metrics["B/op"] != 14735 || cold.Metrics["allocs/op"] != 135 {
+		t.Fatalf("cold metrics: %+v", cold.Metrics)
+	}
+	hit := rep.Benchmarks[1]
+	if hit.NsPerOp != 4187.5 {
+		t.Fatalf("hit: %+v", hit)
+	}
+	grid := rep.Benchmarks[2]
+	if grid.Name != "BenchmarkEngineGrid/workers=8-8" || grid.NsPerOp != 31415926 || grid.Metrics != nil {
+		t.Fatalf("grid: %+v", grid)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(strings.NewReader("PASS\nok x 0.1s\n"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(sb.String()); got != `{
+  "benchmarks": []
+}` {
+		t.Fatalf("empty report: %s", got)
+	}
+}
+
+func TestRunRejectsMalformedBenchLine(t *testing.T) {
+	if err := run(strings.NewReader("BenchmarkX 10 garbage ns/op\n"), &strings.Builder{}); err == nil {
+		t.Fatal("malformed value must error")
+	}
+}

@@ -1,0 +1,92 @@
+// Command hydra-serve runs the allocation service: the HYDRA allocator
+// registry, batch engine, verifiers and schedule simulator behind an HTTP
+// JSON API with a canonical-hash result cache.
+//
+// Endpoints:
+//
+//	POST /v1/allocate        allocate one taskset (cached, singleflight)
+//	POST /v1/allocate/batch  allocate many tasksets on the worker pool
+//	POST /v1/verify          check a result against the linear and exact analyses
+//	POST /v1/simulate        allocate and run the discrete-event simulator
+//	GET  /v1/schemes         list registered allocation schemes
+//	GET  /v1/stats           cache and latency counters
+//	GET  /healthz            liveness probe
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: new connections stop,
+// and in-flight batch runs are cancelled via context between grid cells.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hydra/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "hydra-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until SIGINT/SIGTERM. ready, when non-nil, is
+// called with the bound address once the listener is up (the test seam for
+// -addr :0).
+func run(args []string, logw io.Writer, ready func(net.Addr)) error {
+	fs := flag.NewFlagSet("hydra-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheSize := fs.Int("cache", 1024, "allocation result cache capacity (entries)")
+	workers := fs.Int("workers", 0, "default batch worker-pool width (0 = GOMAXPROCS)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining connections on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, *addr, service.Config{CacheSize: *cacheSize, Workers: *workers}, *shutdownTimeout, logw, ready)
+}
+
+// serve runs the service on addr until ctx is cancelled, then shuts down
+// gracefully: the service context is cancelled first (in-flight batch runs
+// observe it between grid cells and return), then the HTTP server drains.
+func serve(ctx context.Context, addr string, cfg service.Config, grace time.Duration, logw io.Writer, ready func(net.Addr)) error {
+	svc := service.New(cfg)
+	defer svc.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(logw, "hydra-serve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(logw, "hydra-serve: shutting down")
+	svc.Close() // cancel in-flight batch work before draining connections
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	fmt.Fprintln(logw, "hydra-serve: stopped")
+	return nil
+}

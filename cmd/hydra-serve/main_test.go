@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"hydra/internal/core"
+)
+
+const serveSampleTaskset = `{
+  "cores": 2,
+  "rt_tasks": [
+    {"name": "ctl", "wcet_ms": 5, "period_ms": 20},
+    {"name": "nav", "wcet_ms": 30, "period_ms": 100}
+  ],
+  "security_tasks": [
+    {"name": "tw", "wcet_ms": 50, "desired_period_ms": 1000, "max_period_ms": 10000}
+  ]
+}`
+
+// slowAllocator drags out each allocation so shutdown races are observable.
+type slowAllocator struct {
+	calls atomic.Int64
+	inner core.Allocator
+}
+
+func (a *slowAllocator) Name() string { return "test-serve-slow" }
+func (a *slowAllocator) Allocate(in *core.Input) *core.Result {
+	a.calls.Add(1)
+	time.Sleep(30 * time.Millisecond)
+	return a.inner.Allocate(in)
+}
+
+var slow = &slowAllocator{inner: core.MustLookup("hydra")}
+
+func TestMain(m *testing.M) {
+	core.Register(slow)
+	os.Exit(m.Run())
+}
+
+// startServer runs the binary's run() on an ephemeral port and returns its
+// base URL plus a channel carrying run's return value.
+func startServer(t *testing.T, args ...string) (string, <-chan error) {
+	t.Helper()
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), io.Discard, func(a net.Addr) { addrCh <- a })
+	}()
+	select {
+	case a := <-addrCh:
+		return "http://" + a.String(), errCh
+	case err := <-errCh:
+		t.Fatalf("server exited before binding: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	return "", nil
+}
+
+func interrupt(t *testing.T) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitExit(t *testing.T, errCh <-chan error) {
+	t.Helper()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("server exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestServeEndpointsAndGracefulShutdown(t *testing.T) {
+	base, errCh := startServer(t)
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	for _, probe := range []struct {
+		method, path, body string
+	}{
+		{"POST", "/v1/allocate", fmt.Sprintf(`{"taskset": %s}`, serveSampleTaskset)},
+		{"POST", "/v1/allocate/batch", fmt.Sprintf(`{"tasksets": [%s]}`, serveSampleTaskset)},
+		{"POST", "/v1/verify", ""}, // filled below
+		{"POST", "/v1/simulate", fmt.Sprintf(`{"taskset": %s, "horizon_ms": 1000}`, serveSampleTaskset)},
+		{"GET", "/v1/schemes", ""},
+		{"GET", "/v1/stats", ""},
+	} {
+		var resp *http.Response
+		var err error
+		switch probe.method {
+		case "GET":
+			resp, err = http.Get(base + probe.path)
+		default:
+			body := probe.body
+			if probe.path == "/v1/verify" {
+				a, aerr := http.Post(base+"/v1/allocate", "application/json",
+					strings.NewReader(fmt.Sprintf(`{"taskset": %s}`, serveSampleTaskset)))
+				if aerr != nil {
+					t.Fatal(aerr)
+				}
+				raw, _ := io.ReadAll(a.Body)
+				a.Body.Close()
+				body = fmt.Sprintf(`{"taskset": %s, "result": %s}`, serveSampleTaskset, raw)
+			}
+			resp, err = http.Post(base+probe.path, "application/json", strings.NewReader(body))
+		}
+		if err != nil {
+			t.Fatalf("%s %s: %v", probe.method, probe.path, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s %s: status %d: %s", probe.method, probe.path, resp.StatusCode, raw)
+		}
+		var v map[string]any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("%s %s: not JSON: %s", probe.method, probe.path, raw)
+		}
+	}
+
+	interrupt(t)
+	waitExit(t, errCh)
+}
+
+func TestSigintCancelsInflightBatch(t *testing.T) {
+	base, errCh := startServer(t)
+
+	// 100 distinct tasksets x 30ms on one worker = 3s of work; SIGINT must
+	// cut it short by cancelling the batch context between cells.
+	docs := make([]string, 100)
+	for i := range docs {
+		docs[i] = fmt.Sprintf(`{
+		  "cores": 2,
+		  "rt_tasks": [{"name": "ctl", "wcet_ms": 5, "period_ms": %d}],
+		  "security_tasks": [{"name": "tw", "wcet_ms": 50, "desired_period_ms": 1000, "max_period_ms": 10000}]
+		}`, 20+i)
+	}
+	body := fmt.Sprintf(`{"scheme": "test-serve-slow", "workers": 1, "tasksets": [%s]}`, strings.Join(docs, ","))
+
+	type batchOutcome struct {
+		status int
+		err    error
+	}
+	outcome := make(chan batchOutcome, 1)
+	start := time.Now()
+	go func() {
+		resp, err := http.Post(base+"/v1/allocate/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			outcome <- batchOutcome{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		outcome <- batchOutcome{status: resp.StatusCode}
+	}()
+
+	// Wait until the slow allocator is actually running a cell.
+	for i := 0; slow.calls.Load() == 0; i++ {
+		if i > 500 {
+			t.Fatal("batch never started")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	interrupt(t)
+	waitExit(t, errCh)
+	elapsed := time.Since(start)
+
+	o := <-outcome
+	if o.err != nil {
+		t.Fatalf("batch request failed at transport level: %v", o.err)
+	}
+	if o.status != http.StatusServiceUnavailable {
+		t.Fatalf("batch status %d, want 503", o.status)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("shutdown with in-flight batch took %v; cancellation is not prompt", elapsed)
+	}
+	if calls := slow.calls.Load(); calls >= 100 {
+		t.Fatalf("batch ran all %d cells despite cancellation", calls)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard, nil); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+	if err := run([]string{"-addr", "256.256.256.256:99999"}, io.Discard, nil); err == nil {
+		t.Fatal("unlistenable address must error")
+	}
+}

@@ -53,37 +53,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		problem = &tasksetio.Problem{M: *coresFlag, RT: w.RT, Sec: w.Sec}
 	} else {
-		var src io.Reader = stdin
-		if *input != "-" {
-			f, err := os.Open(*input)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			src = f
-		}
 		var err error
-		problem, err = tasksetio.Decode(src)
+		problem, err = tasksetio.Load(*input, stdin)
 		if err != nil {
 			return err
 		}
 	}
 
-	// Allocate through the registry seam.
+	// Allocate through the registry seam; input building (partitioning with
+	// the self-partitioning fallback) is shared with cmd/hydra and the
+	// allocation service.
 	alloc, ok := core.Lookup(*scheme)
 	if !ok {
 		return fmt.Errorf("unknown scheme %q (available: %s)", *scheme, strings.Join(core.Names(), ", "))
 	}
-	part, err := problem.Partition(partition.BestFit)
-	if err != nil {
-		// Self-partitioning schemes (singlecore records its own partition in
-		// Result.RTPartition) can still run on a placeholder partition.
-		if !core.SelfPartitions(alloc) {
-			return fmt.Errorf("partition real-time tasks: %w", err)
-		}
-		part = make([]int, len(problem.RT))
-	}
-	in, err := core.NewInput(problem.M, problem.RT, part, problem.Sec)
+	in, err := tasksetio.BuildInput(problem, alloc, partition.BestFit)
 	if err != nil {
 		return err
 	}

@@ -42,6 +42,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	explain := fs.Bool("explain", false, "hydra scheme: print the per-task decision trace (candidate cores, periods, hints)")
 	refine := fs.Bool("refine", false, "opt scheme: refine per-core periods with the signomial sequential-GP maximizer")
 	format := fs.String("format", "text", "output format: text or csv")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (the tasksetio.ResultJSON interchange format)")
 	list := fs.Bool("list-schemes", false, "print the registered allocation schemes and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,20 +52,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return nil
 	}
 
-	var src io.Reader = stdin
-	if *input != "-" {
-		f, err := os.Open(*input)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		src = f
-	}
-	problem, err := tasksetio.Decode(src)
+	problem, err := tasksetio.Load(*input, stdin)
 	if err != nil {
 		return err
 	}
-	h, err := parseHeuristic(*heuristic)
+	h, err := partition.ParseHeuristic(*heuristic)
 	if err != nil {
 		return err
 	}
@@ -91,17 +83,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 
-	part, err := problem.Partition(h)
-	if err != nil {
-		// Schemes that repartition the real-time tasks themselves (they
-		// record the partition they used in Result.RTPartition) can still
-		// run; give them a placeholder partition.
-		if !core.SelfPartitions(alloc) {
-			return fmt.Errorf("partition real-time tasks: %w", err)
-		}
-		part = make([]int, len(problem.RT))
-	}
-	in, err := core.NewInput(problem.M, problem.RT, part, problem.Sec)
+	in, err := tasksetio.BuildInput(problem, alloc, h)
 	if err != nil {
 		return err
 	}
@@ -111,6 +93,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		// a different allocation than the result below.
 		if *policy != "best-tightness" || *useGP {
 			return fmt.Errorf("-explain supports only the default best-tightness closed-form configuration (got -policy %s, -gp %v)", *policy, *useGP)
+		}
+		if *jsonOut {
+			return fmt.Errorf("-explain writes a text trace and cannot be combined with -json")
 		}
 		ex := core.ExplainHydra(in)
 		if err := ex.WriteText(stdout); err != nil {
@@ -125,11 +110,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	res := alloc.Allocate(in)
 
 	if !res.Schedulable {
+		if *jsonOut {
+			return tasksetio.EncodeResult(stdout, problem, res)
+		}
 		fmt.Fprintf(stdout, "UNSCHEDULABLE (%s): %s\n", res.Scheme, res.Reason)
 		return nil
 	}
 	if err := core.Verify(in, res); err != nil {
 		return fmt.Errorf("internal error: result failed verification: %w", err)
+	}
+	if *jsonOut {
+		return tasksetio.EncodeResult(stdout, problem, res)
 	}
 
 	tb := report.NewTable("task", "core", "period_ms", "tightness", "weight")
@@ -151,21 +142,6 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("unknown format %q", *format)
 	}
 	return nil
-}
-
-func parseHeuristic(s string) (partition.Heuristic, error) {
-	switch s {
-	case "first-fit":
-		return partition.FirstFit, nil
-	case "best-fit":
-		return partition.BestFit, nil
-	case "worst-fit":
-		return partition.WorstFit, nil
-	case "next-fit":
-		return partition.NextFit, nil
-	default:
-		return 0, fmt.Errorf("unknown heuristic %q", s)
-	}
 }
 
 func parsePolicy(s string) (core.Policy, error) {

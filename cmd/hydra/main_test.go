@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hydra/internal/tasksetio"
 )
 
 const sampleDoc = `{
@@ -93,6 +95,41 @@ func TestPoliciesAndHeuristics(t *testing.T) {
 		if _, err := runCLI(t, []string{"-heuristic", h}, sampleDoc); err != nil {
 			t.Fatalf("heuristic %s: %v", h, err)
 		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out, err := runCLI(t, []string{"-json"}, sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := tasksetio.DecodeResult(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if !rj.Schedulable || rj.Scheme != "hydra" || len(rj.Tasks) != 2 || len(rj.RTPartition) != 2 {
+		t.Fatalf("unexpected JSON result: %+v", rj)
+	}
+	// Unschedulable verdicts are JSON too under -json.
+	doc := `{
+	  "cores": 1,
+	  "rt_tasks": [{"name": "a", "wcet_ms": 90, "period_ms": 100}],
+	  "security_tasks": [{"name": "s", "wcet_ms": 50, "desired_period_ms": 100, "max_period_ms": 120}]
+	}`
+	out, err = runCLI(t, []string{"-json"}, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err = tasksetio.DecodeResult(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("-json unschedulable output does not parse: %v\n%s", err, out)
+	}
+	if rj.Schedulable || rj.Reason == "" {
+		t.Fatalf("unexpected JSON verdict: %+v", rj)
+	}
+	// The explain trace is plain text; mixing it with -json is refused.
+	if _, err := runCLI(t, []string{"-json", "-explain"}, sampleDoc); err == nil {
+		t.Fatal("-json with -explain must error")
 	}
 }
 

@@ -76,6 +76,14 @@ func Run[C, R any](ctx context.Context, cells []C, fn func(ctx context.Context, 
 		go func() {
 			defer wg.Done()
 			for idx := range idxCh {
+				// Re-check cancellation per cell: the feed's send can race
+				// with ctx.Done in its select, so a cancelled run may still
+				// hand out queued cells. Skipping them here guarantees no
+				// cell *starts* after cancellation — a cancelled Run returns
+				// within the work of the cells already in flight.
+				if ctx.Err() != nil {
+					continue
+				}
 				rng := stats.SplitRNG(opts.Seed, stream(idx))
 				r, err := fn(ctx, idx, rng, cells[idx])
 				if err != nil {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -185,6 +186,34 @@ func TestRunContextCancel(t *testing.T) {
 	}, Options{Workers: 2, Seed: 1})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCancelReturnsWithinOneCell(t *testing.T) {
+	// Cancelling mid-grid must stop new cells from starting even though the
+	// cell function never looks at its context: on one worker, exactly the
+	// cell that triggered the cancel executes, and Run returns after it.
+	const cellWork = 10 * time.Millisecond
+	cells := make([]int, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int64
+	start := time.Now()
+	_, err := Run(ctx, cells, func(_ context.Context, idx int, _ *rand.Rand, _ int) (int, error) {
+		if executed.Add(1) == 1 {
+			cancel()
+		}
+		time.Sleep(cellWork)
+		return 0, nil
+	}, Options{Workers: 1, Seed: 1})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n != 1 {
+		t.Fatalf("executed %d cells after cancellation, want exactly 1", n)
+	}
+	if limit := 20 * cellWork; elapsed > limit {
+		t.Fatalf("cancelled run took %v, want under %v (one cell is %v)", elapsed, limit, cellWork)
 	}
 }
 

@@ -47,6 +47,24 @@ func (h Heuristic) String() string {
 	}
 }
 
+// ParseHeuristic is the inverse of Heuristic.String: it maps the CLI/API
+// spelling of a heuristic ("best-fit", ...) to its value. The empty string
+// selects the paper's default (BestFit).
+func ParseHeuristic(s string) (Heuristic, error) {
+	switch s {
+	case "", "best-fit":
+		return BestFit, nil
+	case "first-fit":
+		return FirstFit, nil
+	case "worst-fit":
+		return WorstFit, nil
+	case "next-fit":
+		return NextFit, nil
+	default:
+		return 0, fmt.Errorf("partition: unknown heuristic %q (want first-fit, best-fit, worst-fit or next-fit)", s)
+	}
+}
+
 // ErrUnschedulable is returned when no admissible partition is found.
 var ErrUnschedulable = errors.New("partition: no core can admit a task")
 

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchDoc yields a schedulable taskset made unique by i, defeating the
+// cache so every request allocates from scratch.
+func benchDoc(i int) string {
+	return fmt.Sprintf(`{"taskset": {
+	  "cores": 2,
+	  "rt_tasks": [
+	    {"name": "ctl", "wcet_ms": 5, "period_ms": 20},
+	    {"name": "nav", "wcet_ms": 30, "period_ms": 100}
+	  ],
+	  "security_tasks": [
+	    {"name": "tw", "wcet_ms": 50, "desired_period_ms": 1000, "max_period_ms": %d},
+	    {"name": "bro", "wcet_ms": 30, "desired_period_ms": 500, "max_period_ms": 5000}
+	  ]
+	}}`, 10000+i)
+}
+
+func benchRequest(b *testing.B, h http.Handler, body string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/allocate", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+}
+
+// BenchmarkServeAllocateCold measures the full request path with a cache
+// miss on every iteration: decode, canonicalize, partition, allocate,
+// verify, encode.
+func BenchmarkServeAllocateCold(b *testing.B) {
+	s := New(Config{CacheSize: 1 << 20})
+	defer s.Close()
+	h := s.Handler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, h, benchDoc(i))
+	}
+}
+
+// BenchmarkServeAllocateCacheHit measures the steady-state serving path:
+// the same request answered from the canonical-hash cache.
+func BenchmarkServeAllocateCacheHit(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	body := benchDoc(0)
+	benchRequest(b, h, body) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, h, body)
+	}
+}

@@ -1,0 +1,177 @@
+// Package service exposes the allocator registry, the batch engine, the
+// verifiers and the schedule simulator as an HTTP JSON API — the serving
+// layer that turns the reproduction into a long-running allocation backend.
+//
+// At its heart is a result cache keyed by the canonical hash of (taskset,
+// scheme, partition heuristic): identical allocation problems — regardless of
+// task ordering or spelled-out defaults — are answered from memory with
+// byte-identical bodies, and concurrent identical requests are collapsed into
+// a single allocation (singleflight).
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"hydra/internal/partition"
+	"hydra/internal/tasksetio"
+)
+
+// Key returns the canonical cache key of an allocation problem: the SHA-256
+// of the scheme name, the partition heuristic, and the canonical encoding of
+// the taskset (sorted tasks, normalized defaults — see Problem.Canonical).
+// The problem must already be in canonical form.
+func Key(p *tasksetio.Problem, scheme string, h partition.Heuristic) string {
+	hash := sha256.New()
+	hash.Write([]byte(scheme))
+	hash.Write([]byte{0})
+	hash.Write([]byte(h.String()))
+	hash.Write([]byte{0})
+	if err := tasksetio.Encode(hash, p); err != nil {
+		// Encode to a hash never fails; a marshal error here would mean the
+		// model types stopped being JSON-encodable, which tests would catch.
+		panic("service: encode canonical taskset: " + err.Error())
+	}
+	return hex.EncodeToString(hash.Sum(nil))
+}
+
+// flight is one in-progress computation other requests can wait on.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// centry is one cached value in the LRU list.
+type centry struct {
+	key string
+	val []byte
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`      // served from memory
+	Misses    uint64 `json:"misses"`    // computations actually run
+	Coalesced uint64 `json:"coalesced"` // requests that waited on an identical in-flight computation
+	Evictions uint64 `json:"evictions"` // entries dropped by the LRU bound
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Cache is a bounded, concurrency-safe LRU of computed response bodies with
+// singleflight deduplication: at most one computation per key runs at a time;
+// identical concurrent requests wait for it and share its result. Errors are
+// returned to every waiter but never cached.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	inflight  map[string]*flight
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+	evictions uint64
+}
+
+// NewCache builds a cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Outcome classifies how Do produced its value.
+type Outcome int
+
+const (
+	// OutcomeMiss means this call ran the computation itself.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit means the value was already cached.
+	OutcomeHit
+	// OutcomeCoalesced means this call waited on an identical in-flight
+	// computation started by another request.
+	OutcomeCoalesced
+)
+
+// FromMemory reports whether the value was served without running a
+// computation in this call.
+func (o Outcome) FromMemory() bool { return o != OutcomeMiss }
+
+// Do returns the cached value for key, or runs compute to produce it. The
+// returned bytes must be treated as immutable.
+func (c *Cache) Do(key string, compute func() ([]byte, error)) (val []byte, outcome Outcome, err error) {
+	c.mu.Lock()
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		val = e.Value.(*centry).val
+		c.mu.Unlock()
+		return val, OutcomeHit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, OutcomeCoalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	// A panicking compute must not poison the key: record an error for the
+	// coalesced waiters, release the flight, then let the panic continue
+	// (net/http recovers it per request).
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("service: computation for key %s panicked: %v", key, r)
+			c.finish(key, f)
+			panic(r)
+		}
+	}()
+	f.val, f.err = compute()
+	c.finish(key, f)
+	return f.val, OutcomeMiss, f.err
+}
+
+// finish publishes a completed flight: deregisters it, caches successful
+// values (evicting beyond capacity), and releases every waiter.
+func (c *Cache) finish(key string, f *flight) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.items[key] = c.ll.PushFront(&centry{key: key, val: f.val})
+		for c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*centry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

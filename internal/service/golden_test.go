@@ -1,0 +1,56 @@
+package service
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden response files")
+
+// TestGoldenResponses pins the exact JSON shape of each endpoint's response.
+// Regenerate with: go test ./internal/service -run TestGoldenResponses -update
+func TestGoldenResponses(t *testing.T) {
+	s := newServer(t)
+	allocate := post(t, s, "/v1/allocate", allocateBody(sampleTaskset, ""))
+	if allocate.Code != 200 {
+		t.Fatalf("allocate: %d %s", allocate.Code, allocate.Body)
+	}
+	verifyBody := fmt.Sprintf(`{"taskset": %s, "result": %s}`, sampleTaskset, strings.TrimSpace(allocate.Body.String()))
+	batchBody := fmt.Sprintf(`{"workers": 2, "tasksets": [%s, %s]}`, sampleTaskset, sampleTasksetPermuted)
+
+	cases := []struct {
+		name string
+		got  []byte
+	}{
+		{"allocate", allocate.Body.Bytes()},
+		{"allocate_batch", post(t, s, "/v1/allocate/batch", batchBody).Body.Bytes()},
+		{"verify", post(t, s, "/v1/verify", verifyBody).Body.Bytes()},
+		{"simulate", post(t, s, "/v1/simulate", allocateBody(sampleTaskset, `"horizon_ms": 2000`)).Body.Bytes()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.name+".golden.json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, tc.got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(tc.got, want) {
+				t.Fatalf("response drifted from golden %s:\ngot:\n%s\nwant:\n%s", path, tc.got, want)
+			}
+		})
+	}
+}

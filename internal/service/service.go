@@ -1,0 +1,492 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/engine"
+	"hydra/internal/experiments"
+	"hydra/internal/partition"
+	"hydra/internal/sim"
+	"hydra/internal/tasksetio"
+)
+
+// DefaultScheme is the allocation scheme used when a request leaves the
+// scheme unset — the paper's HYDRA heuristic with its default configuration.
+const DefaultScheme = "hydra"
+
+// maxRequestBytes bounds request bodies; tasksets are small, so anything
+// beyond this is either a mistake or abuse.
+const maxRequestBytes = 8 << 20
+
+// maxSimHorizonMS caps /v1/simulate horizons: simulation cost is linear in
+// the horizon, and a serving endpoint must not run unbounded work.
+const maxSimHorizonMS = 10_000_000
+
+// defaultSimHorizonMS is the /v1/simulate horizon when the request leaves it
+// unset.
+const defaultSimHorizonMS = 10_000
+
+// Config tunes a Server.
+type Config struct {
+	// CacheSize bounds the allocation result cache (entries). Zero or
+	// negative selects 1024.
+	CacheSize int
+	// Workers is the default worker-pool width for batch requests that leave
+	// workers unset. Zero selects GOMAXPROCS.
+	Workers int
+}
+
+// Server implements the allocation service. Create with New; it is an
+// http.Handler factory (Handler) plus a Close that cancels in-flight batch
+// runs, which the hydra-serve binary ties to SIGINT.
+type Server struct {
+	cfg       Config
+	cache     *Cache
+	cold      latencyRecorder // allocate latency when the allocation actually ran
+	hot       latencyRecorder // allocate latency when served from cache
+	coalesced latencyRecorder // allocate latency when waiting on an identical in-flight run
+	mux       *http.ServeMux
+	ctx       context.Context
+	cancel    context.CancelFunc
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		cache:  NewCache(cfg.CacheSize),
+		mux:    http.NewServeMux(),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	s.mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
+	s.mux.HandleFunc("POST /v1/allocate/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels the server's base context: in-flight batch runs observe the
+// cancellation between grid cells and return promptly. Safe to call more
+// than once.
+func (s *Server) Close() { s.cancel() }
+
+// requestContext derives a context cancelled when either the client goes
+// away or the server is shut down.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.ctx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// AllocateRequest is the body of POST /v1/allocate: one taskset document
+// plus the scheme (registry name, default "hydra") and the RT partition
+// heuristic (default "best-fit"). The response is a tasksetio.ResultJSON
+// with tasks in canonical (name-sorted) order.
+type AllocateRequest struct {
+	Scheme    string             `json:"scheme,omitempty"`
+	Heuristic string             `json:"heuristic,omitempty"`
+	Taskset   tasksetio.Document `json:"taskset"`
+}
+
+// BatchRequest is the body of POST /v1/allocate/batch: many tasksets
+// allocated under one scheme, fanned out on the experiment engine. Results
+// are returned in request order regardless of worker scheduling.
+type BatchRequest struct {
+	Scheme    string               `json:"scheme,omitempty"`
+	Heuristic string               `json:"heuristic,omitempty"`
+	Workers   int                  `json:"workers,omitempty"`
+	Tasksets  []tasksetio.Document `json:"tasksets"`
+}
+
+// BatchResponse carries one ResultJSON document per requested taskset.
+type BatchResponse struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+// VerifyRequest is the body of POST /v1/verify: a taskset and a previously
+// computed result to check. When the taskset has no fixed rt_partition the
+// result's own is used, else one is computed with the heuristic.
+type VerifyRequest struct {
+	Heuristic string               `json:"heuristic,omitempty"`
+	Taskset   tasksetio.Document   `json:"taskset"`
+	Result    tasksetio.ResultJSON `json:"result"`
+}
+
+// VerifyResponse reports the linear-bound (core.Verify) and exact-RTA
+// (core.VerifyExact) verdicts for the submitted result.
+type VerifyResponse struct {
+	Valid      bool   `json:"valid"`
+	Error      string `json:"error,omitempty"`
+	ExactValid bool   `json:"exact_valid"`
+	ExactError string `json:"exact_error,omitempty"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate: allocate the taskset,
+// then run the discrete-event schedule simulator over the horizon.
+type SimulateRequest struct {
+	Scheme    string             `json:"scheme,omitempty"`
+	Heuristic string             `json:"heuristic,omitempty"`
+	HorizonMS float64            `json:"horizon_ms,omitempty"`
+	Taskset   tasksetio.Document `json:"taskset"`
+}
+
+// SimCoreJSON is one simulated core's summary.
+type SimCoreJSON struct {
+	Core        int     `json:"core"`
+	Tasks       int     `json:"tasks"`
+	Utilization float64 `json:"utilization"`
+	IdleMS      float64 `json:"idle_ms"`
+	Misses      int     `json:"misses"`
+}
+
+// SimulateResponse summarizes a simulation run (empty Cores when the
+// allocation itself was infeasible).
+type SimulateResponse struct {
+	Scheme              string        `json:"scheme"`
+	Schedulable         bool          `json:"schedulable"`
+	Reason              string        `json:"reason,omitempty"`
+	HorizonMS           float64       `json:"horizon_ms"`
+	CumulativeTightness float64       `json:"cumulative_tightness"`
+	Cores               []SimCoreJSON `json:"cores,omitempty"`
+	TotalMisses         int           `json:"total_misses"`
+}
+
+// SchemesResponse lists the registered allocation schemes.
+type SchemesResponse struct {
+	Schemes []string `json:"schemes"`
+}
+
+// AllocateLatency splits allocate latencies by cache outcome. Coalesced
+// requests waited on another request's computation, so their latencies are
+// cold-scale — keeping them out of Hit preserves the cold-vs-hit comparison.
+type AllocateLatency struct {
+	Cold      LatencyStats `json:"cold"`
+	Hit       LatencyStats `json:"hit"`
+	Coalesced LatencyStats `json:"coalesced"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Cache    CacheStats      `json:"cache"`
+	Allocate AllocateLatency `json:"allocate_latency"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
+		return
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeRequest strictly parses a JSON request body into v.
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "parse request: %v", err)
+		return false
+	}
+	return true
+}
+
+// resolveScheme maps a request's scheme name (empty = DefaultScheme) to an
+// allocator.
+func resolveScheme(name string) (core.Allocator, error) {
+	if name == "" {
+		name = DefaultScheme
+	}
+	allocs, err := core.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return allocs[0], nil
+}
+
+// allocate serves one allocation problem through the canonical-hash cache,
+// recording latency under the cold or hit series. The returned body is the
+// exact bytes every identical request receives.
+func (s *Server) allocate(doc *tasksetio.Document, schemeName, heuristicName string) ([]byte, bool, int, error) {
+	alloc, err := resolveScheme(schemeName)
+	if err != nil {
+		return nil, false, http.StatusBadRequest, err
+	}
+	h, err := partition.ParseHeuristic(heuristicName)
+	if err != nil {
+		return nil, false, http.StatusBadRequest, err
+	}
+	p, err := doc.ToProblem()
+	if err != nil {
+		return nil, false, http.StatusBadRequest, err
+	}
+	canon := p.Canonical()
+	key := Key(canon, alloc.Name(), h)
+	start := time.Now()
+	body, outcome, err := s.cache.Do(key, func() ([]byte, error) {
+		return computeAllocation(canon, alloc, h)
+	})
+	switch outcome {
+	case OutcomeHit:
+		s.hot.add(time.Since(start))
+	case OutcomeCoalesced:
+		s.coalesced.add(time.Since(start))
+	default:
+		s.cold.add(time.Since(start))
+	}
+	hit := outcome.FromMemory()
+	if err != nil {
+		return nil, hit, http.StatusInternalServerError, err
+	}
+	return body, hit, http.StatusOK, nil
+}
+
+// computeAllocation runs one allocation on the canonical problem and encodes
+// the response body. Infeasibility (no RT partition, or the scheme rejecting
+// the taskset) is a cacheable verdict, not an error; errors are reserved for
+// internal inconsistencies (an allocation failing its own verification).
+func computeAllocation(canon *tasksetio.Problem, alloc core.Allocator, h partition.Heuristic) ([]byte, error) {
+	var res *core.Result
+	in, err := tasksetio.BuildInput(canon, alloc, h)
+	if err != nil {
+		res = &core.Result{Schedulable: false, Scheme: alloc.Name(), Reason: err.Error()}
+	} else {
+		res = alloc.Allocate(in)
+		if res.Schedulable {
+			if verr := core.Verify(in, res); verr != nil {
+				return nil, fmt.Errorf("allocation failed verification: %w", verr)
+			}
+		}
+	}
+	body, err := json.MarshalIndent(tasksetio.ResultToJSON(canon, res), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	var req AllocateRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	body, hit, status, err := s.allocate(&req.Taskset, req.Scheme, req.Heuristic)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	// Resolve shared parameters once so a bad scheme fails the whole batch
+	// up front instead of per cell.
+	if _, err := resolveScheme(req.Scheme); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := partition.ParseHeuristic(req.Heuristic); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	results, err := engine.Run(ctx, req.Tasksets,
+		func(ctx context.Context, idx int, _ *rand.Rand, doc tasksetio.Document) (json.RawMessage, error) {
+			body, _, _, err := s.allocate(&doc, req.Scheme, req.Heuristic)
+			if err != nil {
+				return nil, fmt.Errorf("taskset %d: %w", idx, err)
+			}
+			return body, nil
+		},
+		engine.Options{Workers: workers})
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "batch cancelled: %v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	h, err := partition.ParseHeuristic(req.Heuristic)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := req.Taskset.ToProblem()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := req.Result.ToResult(p)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	part := p.RTPartition
+	if part == nil && len(res.RTPartition) == len(p.RT) {
+		part = res.RTPartition
+	}
+	if part == nil {
+		if part, err = p.Partition(h); err != nil {
+			writeError(w, http.StatusBadRequest, "cannot determine real-time partition (supply taskset.rt_partition or result.rt_partition): %v", err)
+			return
+		}
+	}
+	in, err := core.NewInput(p.M, p.RT, part, p.Sec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var resp VerifyResponse
+	if err := core.Verify(in, res); err != nil {
+		resp.Error = err.Error()
+	} else {
+		resp.Valid = true
+	}
+	if err := core.VerifyExact(in, res); err != nil {
+		resp.ExactError = err.Error()
+	} else {
+		resp.ExactValid = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	horizon := req.HorizonMS
+	if horizon == 0 {
+		horizon = defaultSimHorizonMS
+	}
+	if horizon < 0 || horizon > maxSimHorizonMS {
+		writeError(w, http.StatusBadRequest, "horizon_ms must be in (0, %d], got %g", maxSimHorizonMS, horizon)
+		return
+	}
+	alloc, err := resolveScheme(req.Scheme)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h, err := partition.ParseHeuristic(req.Heuristic)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := req.Taskset.ToProblem()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	canon := p.Canonical()
+	resp := SimulateResponse{Scheme: alloc.Name(), HorizonMS: horizon}
+	in, err := tasksetio.BuildInput(canon, alloc, h)
+	if err != nil {
+		resp.Reason = err.Error()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	res := alloc.Allocate(in)
+	resp.Scheme = res.Scheme
+	if !res.Schedulable {
+		resp.Reason = res.Reason
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp.Schedulable = true
+	resp.CumulativeTightness = res.Cumulative
+	in = core.EffectiveInput(in, res)
+	perCore, _, _, err := experiments.BuildSimSpecs(in, res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	trace, err := sim.SimulateSystem(perCore, horizon)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	for c, tr := range trace.Cores {
+		resp.Cores = append(resp.Cores, SimCoreJSON{
+			Core:        c,
+			Tasks:       len(tr.Specs),
+			Utilization: tr.Utilization(),
+			IdleMS:      tr.IdleTime,
+			Misses:      tr.Misses,
+		})
+	}
+	resp.TotalMisses = trace.TotalMisses()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SchemesResponse{Schemes: core.Names()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Cache: s.cache.Stats(),
+		Allocate: AllocateLatency{
+			Cold:      s.cold.snapshot(),
+			Hit:       s.hot.snapshot(),
+			Coalesced: s.coalesced.snapshot(),
+		},
+	})
+}

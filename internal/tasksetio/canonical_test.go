@@ -1,0 +1,83 @@
+package tasksetio
+
+import (
+	"reflect"
+	"testing"
+
+	"hydra/internal/rts"
+)
+
+func TestCanonicalSortsAndNormalizes(t *testing.T) {
+	p := &Problem{
+		M: 2,
+		RT: []rts.RTTask{
+			rts.NewRTTask("nav", 30, 100),
+			rts.NewRTTask("ctl", 5, 20),
+		},
+		RTPartition: []int{1, 0},
+		Sec: []rts.SecurityTask{
+			{Name: "tw", C: 50, TDes: 1000, TMax: 10000}, // weight 0 => effective 1
+			{Name: "bro", C: 30, TDes: 500, TMax: 5000, Weight: 2},
+		},
+	}
+	c := p.Canonical()
+	if c.RT[0].Name != "ctl" || c.RT[1].Name != "nav" {
+		t.Fatalf("RT not sorted: %+v", c.RT)
+	}
+	// The fixed partition must follow its tasks through the sort.
+	if !reflect.DeepEqual(c.RTPartition, []int{0, 1}) {
+		t.Fatalf("partition not permuted with tasks: %v", c.RTPartition)
+	}
+	if c.Sec[0].Name != "bro" || c.Sec[1].Name != "tw" {
+		t.Fatalf("Sec not sorted: %+v", c.Sec)
+	}
+	if c.Sec[1].Weight != 1 {
+		t.Fatalf("default weight not normalized: %+v", c.Sec[1])
+	}
+	// The original problem is untouched.
+	if p.RT[0].Name != "nav" || p.Sec[0].Weight != 0 {
+		t.Fatalf("Canonical mutated its receiver: %+v", p)
+	}
+	// Idempotent, and equal for a permuted equivalent problem.
+	if !reflect.DeepEqual(c.Canonical(), c) {
+		t.Fatal("Canonical is not idempotent")
+	}
+	perm := &Problem{
+		M:           2,
+		RT:          []rts.RTTask{p.RT[1], p.RT[0]},
+		RTPartition: []int{0, 1},
+		Sec:         []rts.SecurityTask{{Name: "bro", C: 30, TDes: 500, TMax: 5000, Weight: 2}, {Name: "tw", C: 50, TDes: 1000, TMax: 10000, Weight: 1}},
+	}
+	if !reflect.DeepEqual(perm.Canonical(), c) {
+		t.Fatalf("permuted problem canonicalizes differently:\n%+v\nvs\n%+v", perm.Canonical(), c)
+	}
+}
+
+func TestCanonicalBreaksTiesOnWeightAndPinnedCore(t *testing.T) {
+	// Two security tasks identical except for weight: reversing their input
+	// order must not change the canonical form.
+	sec := func(w1, w2 float64) *Problem {
+		return &Problem{
+			M: 2,
+			Sec: []rts.SecurityTask{
+				{Name: "s", C: 1, TDes: 10, TMax: 20, Weight: w1},
+				{Name: "s", C: 1, TDes: 10, TMax: 20, Weight: w2},
+			},
+		}
+	}
+	if !reflect.DeepEqual(sec(2, 3).Canonical(), sec(3, 2).Canonical()) {
+		t.Fatal("security weight is not part of the canonical order")
+	}
+	// Two identical RT tasks pinned to different cores: reversing tasks and
+	// partition together must canonicalize equally.
+	rt := func(c1, c2 int) *Problem {
+		return &Problem{
+			M:           2,
+			RT:          []rts.RTTask{rts.NewRTTask("t", 1, 10), rts.NewRTTask("t", 1, 10)},
+			RTPartition: []int{c1, c2},
+		}
+	}
+	if !reflect.DeepEqual(rt(0, 1).Canonical(), rt(1, 0).Canonical()) {
+		t.Fatal("pinned core is not part of the canonical order")
+	}
+}

@@ -1,0 +1,158 @@
+package tasksetio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"hydra/internal/core"
+)
+
+// TaskResultJSON is the allocation outcome for one security task: the core it
+// was placed on, its adapted period, and the achieved tightness. Accepted is
+// per-task so future partial-acceptance schemes keep the same wire format;
+// today it equals the result's Schedulable verdict for every task.
+type TaskResultJSON struct {
+	Name      string  `json:"name"`
+	Core      int     `json:"core"`
+	PeriodMS  float64 `json:"period_ms"`
+	Tightness float64 `json:"tightness"`
+	Accepted  bool    `json:"accepted"`
+}
+
+// RTPlacementJSON records which core a real-time task ended up on in the
+// partition the scheme actually solved against (see core.Result.RTPartition).
+type RTPlacementJSON struct {
+	Name string `json:"name"`
+	Core int    `json:"core"`
+}
+
+// ResultJSON is the interchange encoding of a core.Result — the response body
+// of the allocation service and the -json output of cmd/hydra. Per-task
+// entries carry task names so the document is meaningful independent of the
+// ordering of the taskset it was computed from.
+type ResultJSON struct {
+	Scheme              string            `json:"scheme"`
+	Schedulable         bool              `json:"schedulable"`
+	Reason              string            `json:"reason,omitempty"`
+	CumulativeTightness float64           `json:"cumulative_tightness"`
+	Tasks               []TaskResultJSON  `json:"tasks,omitempty"`
+	RTPartition         []RTPlacementJSON `json:"rt_partition,omitempty"`
+}
+
+// ResultToJSON converts a core.Result (indexed by the input order of the
+// problem it solved) to the named wire form. The RT partition recorded is the
+// effective one: the result's own when present, else the input's.
+func ResultToJSON(p *Problem, res *core.Result) *ResultJSON {
+	rj := &ResultJSON{
+		Scheme:              res.Scheme,
+		Schedulable:         res.Schedulable,
+		Reason:              res.Reason,
+		CumulativeTightness: res.Cumulative,
+	}
+	if res.Schedulable {
+		for i, s := range p.Sec {
+			rj.Tasks = append(rj.Tasks, TaskResultJSON{
+				Name:      s.Name,
+				Core:      res.Assignment[i],
+				PeriodMS:  res.Periods[i],
+				Tightness: res.Tightness[i],
+				Accepted:  true,
+			})
+		}
+		part := res.RTPartition
+		if len(part) != len(p.RT) {
+			part = p.RTPartition
+		}
+		if len(part) == len(p.RT) {
+			for i, t := range p.RT {
+				rj.RTPartition = append(rj.RTPartition, RTPlacementJSON{Name: t.Name, Core: part[i]})
+			}
+		}
+	}
+	return rj
+}
+
+// ToResult reconstructs a core.Result aligned with the given problem's task
+// order, matching per-task entries by name. Duplicate names are matched
+// positionally among equals (stable), so round-tripping any encodable result
+// is lossless.
+func (rj *ResultJSON) ToResult(p *Problem) (*core.Result, error) {
+	res := &core.Result{
+		Scheme:      rj.Scheme,
+		Schedulable: rj.Schedulable,
+		Reason:      rj.Reason,
+		Cumulative:  rj.CumulativeTightness,
+	}
+	if !rj.Schedulable {
+		return res, nil
+	}
+	if len(rj.Tasks) != len(p.Sec) {
+		return nil, fmt.Errorf("tasksetio: result covers %d security tasks, problem has %d", len(rj.Tasks), len(p.Sec))
+	}
+	// Name -> queue of entry indices (stable for duplicates).
+	byName := map[string][]int{}
+	for i, t := range rj.Tasks {
+		byName[t.Name] = append(byName[t.Name], i)
+	}
+	res.Assignment = make([]int, len(p.Sec))
+	res.Periods = make([]float64, len(p.Sec))
+	res.Tightness = make([]float64, len(p.Sec))
+	for i, s := range p.Sec {
+		q := byName[s.Name]
+		if len(q) == 0 {
+			return nil, fmt.Errorf("tasksetio: result has no entry for security task %q", s.Name)
+		}
+		e := rj.Tasks[q[0]]
+		byName[s.Name] = q[1:]
+		res.Assignment[i] = e.Core
+		res.Periods[i] = e.PeriodMS
+		res.Tightness[i] = e.Tightness
+	}
+	if len(rj.RTPartition) > 0 {
+		if len(rj.RTPartition) != len(p.RT) {
+			return nil, fmt.Errorf("tasksetio: result partitions %d real-time tasks, problem has %d", len(rj.RTPartition), len(p.RT))
+		}
+		rtByName := map[string][]int{}
+		for i, t := range rj.RTPartition {
+			rtByName[t.Name] = append(rtByName[t.Name], i)
+		}
+		res.RTPartition = make([]int, len(p.RT))
+		for i, t := range p.RT {
+			q := rtByName[t.Name]
+			if len(q) == 0 {
+				return nil, fmt.Errorf("tasksetio: result has no placement for real-time task %q", t.Name)
+			}
+			res.RTPartition[i] = rj.RTPartition[q[0]].Core
+			rtByName[t.Name] = q[1:]
+		}
+	}
+	return res, nil
+}
+
+// EncodeResult writes the result as indented JSON.
+func EncodeResult(w io.Writer, p *Problem, res *core.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ResultToJSON(p, res))
+}
+
+// DecodeResult parses a ResultJSON document.
+func DecodeResult(r io.Reader) (*ResultJSON, error) {
+	var rj ResultJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rj); err != nil {
+		return nil, fmt.Errorf("tasksetio: parse result: %w", err)
+	}
+	return &rj, nil
+}
+
+// SortTasksCanonical sorts the result's per-task entries into the canonical
+// name order used by the allocation service, making encodings comparable
+// regardless of the originating taskset ordering.
+func (rj *ResultJSON) SortTasksCanonical() {
+	sort.SliceStable(rj.Tasks, func(a, b int) bool { return rj.Tasks[a].Name < rj.Tasks[b].Name })
+	sort.SliceStable(rj.RTPartition, func(a, b int) bool { return rj.RTPartition[a].Name < rj.RTPartition[b].Name })
+}
