@@ -3,14 +3,26 @@
 // trajectories as artifacts instead of burying them in logs:
 //
 //	go test -bench . -benchtime 1x -run '^$' ./... | benchjson > BENCH.json
+//
+// It is also CI's bench-regression gate: -compare checks a fresh report
+// against a committed baseline and fails (exit 1) when any benchmark
+// tracked by the baseline slowed down beyond the tolerance:
+//
+//	benchjson -compare BENCH_baseline.json BENCH_new.json -tolerance 0.25
+//
+// Benchmarks present only in the new report are listed as untracked (new
+// code is not penalized); benchmarks that vanished are flagged but do not
+// fail the gate (renames happen — refresh the baseline instead).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,10 +43,120 @@ type Report struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	if err := cli(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// cli dispatches between convert mode (default) and compare mode.
+func cli(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	compareFlag := fs.Bool("compare", false, "compare two reports: benchjson -compare old.json new.json")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed ns/op slowdown fraction before -compare fails (0.25 = +25%)")
+	// Collect positionals while letting flags appear anywhere on the line
+	// (stdlib flag parsing stops at the first positional otherwise).
+	var reports []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			break
+		}
+		reports = append(reports, args[0])
+		args = args[1:]
+	}
+	if !*compareFlag {
+		if len(reports) != 0 {
+			return fmt.Errorf("convert mode reads stdin and takes no arguments (use -compare old.json new.json)")
+		}
+		return run(stdin, stdout)
+	}
+	if len(reports) != 2 {
+		return fmt.Errorf("-compare needs exactly two reports: old.json new.json")
+	}
+	if *tolerance < 0 {
+		return fmt.Errorf("-tolerance must be >= 0, got %g", *tolerance)
+	}
+	return compare(reports[0], reports[1], *tolerance, stdout)
+}
+
+// loadReport reads a report produced by convert mode.
+func loadReport(path string) (map[string]Benchmark, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+// compare gates newPath against the oldPath baseline: any benchmark tracked
+// by the baseline whose ns/op grew beyond old*(1+tolerance) is a regression
+// and fails the run.
+func compare(oldPath, newPath string, tolerance float64, w io.Writer) error {
+	oldBench, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newBench, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldBench))
+	for name := range oldBench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	for _, name := range names {
+		old := oldBench[name]
+		cur, ok := newBench[name]
+		if !ok {
+			fmt.Fprintf(w, "MISSING  %s: in baseline but not in new report (refresh the baseline?)\n", name)
+			continue
+		}
+		if old.NsPerOp <= 0 {
+			fmt.Fprintf(w, "SKIP     %s: baseline ns/op is %g\n", name, old.NsPerOp)
+			continue
+		}
+		ratio := cur.NsPerOp / old.NsPerOp
+		switch {
+		case ratio > 1+tolerance:
+			fmt.Fprintf(w, "FAIL     %s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %.0f%%)\n",
+				name, old.NsPerOp, cur.NsPerOp, (ratio-1)*100, tolerance*100)
+			regressions = append(regressions, name)
+		default:
+			fmt.Fprintf(w, "OK       %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
+				name, old.NsPerOp, cur.NsPerOp, (ratio-1)*100)
+		}
+	}
+	untracked := make([]string, 0)
+	for name := range newBench {
+		if _, ok := oldBench[name]; !ok {
+			untracked = append(untracked, name)
+		}
+	}
+	sort.Strings(untracked)
+	for _, name := range untracked {
+		fmt.Fprintf(w, "NEW      %s: %.0f ns/op (untracked; add to the baseline)\n", name, newBench[name].NsPerOp)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressions), tolerance*100, strings.Join(regressions, ", "))
+	}
+	fmt.Fprintf(w, "all %d tracked benchmarks within tolerance\n", len(names))
+	return nil
 }
 
 func run(r io.Reader, w io.Writer) error {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -63,5 +65,115 @@ func TestRunEmptyInput(t *testing.T) {
 func TestRunRejectsMalformedBenchLine(t *testing.T) {
 	if err := run(strings.NewReader("BenchmarkX 10 garbage ns/op\n"), &strings.Builder{}); err == nil {
 		t.Fatal("malformed value must error")
+	}
+}
+
+// writeReport marshals a Report into a temp file for compare tests.
+func writeReport(t *testing.T, benchmarks ...Benchmark) string {
+	t.Helper()
+	body, err := json.Marshal(Report{Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The regression gate's two contractual cases: a synthetic 2x slowdown
+// fails, and comparing a report against itself passes.
+func TestCompareFailsOnSyntheticRegression(t *testing.T) {
+	base := writeReport(t,
+		Benchmark{Name: "BenchmarkServeAllocateCold", Iterations: 10, NsPerOp: 40000},
+		Benchmark{Name: "BenchmarkServeAllocateCacheHit", Iterations: 100, NsPerOp: 4000},
+	)
+	slow := writeReport(t,
+		Benchmark{Name: "BenchmarkServeAllocateCold", Iterations: 10, NsPerOp: 80000}, // 2x
+		Benchmark{Name: "BenchmarkServeAllocateCacheHit", Iterations: 100, NsPerOp: 4100},
+	)
+	var sb strings.Builder
+	err := cli([]string{"-compare", base, slow, "-tolerance", "0.25"}, nil, &sb)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkServeAllocateCold") {
+		t.Fatalf("2x regression must fail naming the benchmark, got %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL     BenchmarkServeAllocateCold") ||
+		!strings.Contains(sb.String(), "OK       BenchmarkServeAllocateCacheHit") {
+		t.Fatalf("report output:\n%s", sb.String())
+	}
+}
+
+func TestCompareBaselineAgainstItselfPasses(t *testing.T) {
+	base := writeReport(t,
+		Benchmark{Name: "BenchmarkA", Iterations: 10, NsPerOp: 1234},
+		Benchmark{Name: "BenchmarkB", Iterations: 10, NsPerOp: 5678},
+	)
+	var sb strings.Builder
+	if err := cli([]string{"-compare", base, base}, nil, &sb); err != nil {
+		t.Fatalf("self-comparison must pass: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "all 2 tracked benchmarks within tolerance") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestCompareWithinToleranceAndBoundaries(t *testing.T) {
+	base := writeReport(t, Benchmark{Name: "BenchmarkA", NsPerOp: 1000})
+	// +24% passes at 0.25, +26% fails.
+	ok := writeReport(t, Benchmark{Name: "BenchmarkA", NsPerOp: 1240})
+	if err := cli([]string{"-compare", base, ok}, nil, &strings.Builder{}); err != nil {
+		t.Fatalf("+24%% within 25%% tolerance must pass: %v", err)
+	}
+	bad := writeReport(t, Benchmark{Name: "BenchmarkA", NsPerOp: 1260})
+	if err := cli([]string{"-compare", base, bad}, nil, &strings.Builder{}); err == nil {
+		t.Fatal("+26% beyond 25% tolerance must fail")
+	}
+	// A stricter tolerance flips the verdict on the same pair.
+	if err := cli([]string{"-compare", base, ok, "-tolerance", "0.1"}, nil, &strings.Builder{}); err == nil {
+		t.Fatal("+24% beyond 10% tolerance must fail")
+	}
+}
+
+// Missing and untracked benchmarks are reported but do not fail the gate.
+func TestCompareMissingAndUntracked(t *testing.T) {
+	base := writeReport(t,
+		Benchmark{Name: "BenchmarkGone", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkKept", NsPerOp: 100},
+	)
+	cur := writeReport(t,
+		Benchmark{Name: "BenchmarkKept", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkNew", NsPerOp: 100},
+	)
+	var sb strings.Builder
+	if err := cli([]string{"-compare", base, cur}, nil, &sb); err != nil {
+		t.Fatalf("missing/untracked must not fail the gate: %v", err)
+	}
+	if !strings.Contains(sb.String(), "MISSING  BenchmarkGone") || !strings.Contains(sb.String(), "NEW      BenchmarkNew") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestCompareBadUsage(t *testing.T) {
+	base := writeReport(t, Benchmark{Name: "BenchmarkA", NsPerOp: 1})
+	cases := [][]string{
+		{"-compare", base},                           // one report
+		{"-compare", base, base, base},               // three reports
+		{"-compare", base, "does-not-exist.json"},    // unreadable
+		{"-compare", base, base, "-tolerance", "-1"}, // negative tolerance
+		{"stray-arg"},                                // convert mode takes no args
+	}
+	for _, args := range cases {
+		if err := cli(args, strings.NewReader(""), &strings.Builder{}); err == nil {
+			t.Errorf("args %v must error", args)
+		}
+	}
+	// Convert mode still works through the dispatcher.
+	var sb strings.Builder
+	if err := cli(nil, strings.NewReader(sampleBenchOutput), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "BenchmarkServeAllocateCold") {
+		t.Fatalf("convert output:\n%s", sb.String())
 	}
 }

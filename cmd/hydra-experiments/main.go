@@ -11,18 +11,29 @@
 // -list-schemes for the catalogue), and the experiment grids run on the
 // parallel engine (-workers). Each experiment prints plot-ready rows (text
 // or CSV). Runs are deterministic for a fixed -seed regardless of -workers.
+//
+// Long campaigns can checkpoint: -checkpoint <dir> runs one experiment as a
+// resumable campaign (the same per-cell checkpoint format hydra-serve's
+// /v1/experiments jobs use), and -resume <dir> continues an interrupted
+// campaign — its own or one left behind by a killed server — emitting the
+// byte-identical result JSON an uninterrupted run would have produced.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"hydra/internal/core"
 	"hydra/internal/experiments"
+	"hydra/internal/jobs"
 	"hydra/internal/report"
 )
 
@@ -45,12 +56,20 @@ func run(args []string, stdout io.Writer) error {
 	format := fs.String("format", "text", "output format: text or csv")
 	refine := fs.Bool("refine", false, "fig3: refine optimal periods with the sequential-GP maximizer")
 	list := fs.Bool("list-schemes", false, "print the registered allocation schemes and exit")
+	checkpoint := fs.String("checkpoint", "", "run one experiment as a resumable campaign checkpointed in this directory, printing the result JSON")
+	resume := fs.String("resume", "", "resume an interrupted campaign from its checkpoint directory, printing the result JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		fmt.Fprintln(stdout, strings.Join(core.Names(), "\n"))
 		return nil
+	}
+	if *resume != "" && *checkpoint != "" {
+		return fmt.Errorf("-checkpoint and -resume are mutually exclusive")
+	}
+	if *resume != "" {
+		return resumeCampaign(*resume, stdout)
 	}
 	coreList, err := parseCores(*cores)
 	if err != nil {
@@ -59,6 +78,13 @@ func run(args []string, stdout io.Writer) error {
 	schemeList, err := parseSchemes(*schemes)
 	if err != nil {
 		return err
+	}
+	if *checkpoint != "" {
+		config, err := campaignConfig(*which, coreList, schemeList, *seed, *tasksets, *attacks, *workers, *refine)
+		if err != nil {
+			return err
+		}
+		return startCampaign(*checkpoint, *which, config, stdout)
 	}
 	emit := func(tb *report.Table) error {
 		if *format == "csv" {
@@ -216,6 +242,68 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", *which)
 	}
+}
+
+// campaignConfig maps the CLI flags onto the named spec's JSON config,
+// mirroring what the non-campaign code paths run (fig2 and ablation
+// campaigns cover the first -cores entry; run one campaign per M for the
+// full figure).
+func campaignConfig(which string, coreList []int, schemeList []string, seed int64, tasksets, attacks, workers int, refine bool) (json.RawMessage, error) {
+	var cfg any
+	switch which {
+	case "table1":
+		return nil, nil
+	case "fig1":
+		cfg = experiments.Fig1Config{Cores: coreList, Schemes: schemeList, Attacks: attacks, Seed: seed, Workers: workers}
+	case "fig2":
+		cfg = experiments.Fig2Config{M: coreList[0], TasksetsPerPoint: tasksets, Seed: seed, Schemes: schemeList, Workers: workers}
+	case "fig3":
+		cfg = experiments.Fig3Config{TasksetsPerPoint: max(1, tasksets/4), Seed: seed, Scheme: schemeList[0], RefineJointGP: refine, Workers: workers}
+	case "ablation":
+		cfg = experiments.AblationConfig{M: coreList[0], TasksetsPerCell: max(1, tasksets/2), Seed: seed, Workers: workers}
+	default:
+		return nil, fmt.Errorf("-checkpoint needs a single experiment (table1, fig1, fig2, fig3 or ablation), got %q", which)
+	}
+	return json.Marshal(cfg)
+}
+
+// startCampaign creates and runs a checkpointed campaign; an interrupted run
+// (SIGINT) leaves the directory resumable with -resume.
+func startCampaign(dir, spec string, config json.RawMessage, stdout io.Writer) error {
+	c, err := jobs.Create(dir, spec, config)
+	if err != nil {
+		return err
+	}
+	return runCampaign(c, stdout)
+}
+
+// resumeCampaign continues an interrupted campaign from its directory.
+func resumeCampaign(dir string, stdout io.Writer) error {
+	c, err := jobs.Open(dir)
+	if err != nil {
+		return err
+	}
+	return runCampaign(c, stdout)
+}
+
+// runCampaign drives a campaign to completion under SIGINT/SIGTERM
+// cancellation (the campaign checkpoints between cells, staying resumable)
+// and prints the result document.
+func runCampaign(c *jobs.Campaign, stdout io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var last jobs.Progress
+	body, err := c.Run(ctx, func(p jobs.Progress) { last = p })
+	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("campaign interrupted at %d/%d cells; resume with -resume %s", last.Done, last.Total, c.Dir())
+		}
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign complete: %d cells (%d replayed from checkpoint), result in %s\n",
+		last.Done, last.Replayed, c.Dir())
+	_, err = stdout.Write(body)
+	return err
 }
 
 func parseCores(s string) ([]int, error) {

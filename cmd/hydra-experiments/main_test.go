@@ -1,8 +1,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+
+	"hydra/internal/jobs"
 )
 
 func runExp(t *testing.T, args ...string) (string, error) {
@@ -127,6 +134,99 @@ func TestListSchemes(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
 		}
+	}
+	// Sorted output keeps diffs stable across runs and registrations.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !sort.StringsAreSorted(lines) {
+		t.Fatalf("scheme listing not sorted:\n%s", out)
+	}
+}
+
+// -checkpoint runs a campaign to completion, prints its result JSON, and
+// leaves a resumable directory; -resume on a completed campaign replays the
+// persisted result byte-for-byte.
+func TestCheckpointCampaignAndResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "campaign")
+	args := []string{"-experiment", "fig2", "-tasksets", "2", "-cores", "2", "-seed", "5"}
+	out, err := runExp(t, append(args, "-checkpoint", dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []struct {
+		TotalUtil float64
+		Generated int
+	}
+	if err := json.Unmarshal([]byte(out), &points); err != nil {
+		t.Fatalf("checkpoint output not result JSON: %v\n%s", err, out)
+	}
+	if len(points) != 39 {
+		t.Fatalf("got %d utilization points, want 39", len(points))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "result.json")); err != nil {
+		t.Fatalf("result.json missing: %v", err)
+	}
+	resumed, err := runExp(t, "-resume", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != out {
+		t.Fatal("resume of a completed campaign returned different bytes")
+	}
+	// Double-starting a campaign in the same directory must error.
+	if _, err := runExp(t, append(args, "-checkpoint", dir)...); err == nil {
+		t.Fatal("re-checkpoint into an existing campaign dir must error")
+	}
+}
+
+// A campaign interrupted mid-grid resumes through the CLI and the final
+// result is byte-identical to an uninterrupted CLI run — the shared
+// checkpoint format contract with hydra-serve.
+func TestResumeInterruptedCampaign(t *testing.T) {
+	config, err := campaignConfig("fig2", []int{2}, []string{"hydra", "singlecore"}, 5, 4, 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanDir := filepath.Join(t.TempDir(), "clean")
+	var clean strings.Builder
+	if err := startCampaign(cleanDir, "fig2", config, &clean); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt a twin campaign mid-grid (context cancel stands in for the
+	// CLI's SIGINT path, which shares the same ctx seam).
+	dir := filepath.Join(t.TempDir(), "interrupted")
+	c, err := jobs.Create(dir, "fig2", config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := c.Run(ctx, func(p jobs.Progress) {
+		if p.Done >= 20 {
+			cancel()
+		}
+	}); err == nil {
+		t.Fatal("interrupted campaign run must error")
+	}
+
+	var resumed strings.Builder
+	if err := run([]string{"-resume", dir}, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != clean.String() {
+		t.Fatal("resumed CLI result differs from uninterrupted run")
+	}
+}
+
+func TestCheckpointFlagErrors(t *testing.T) {
+	if _, err := runExp(t, "-checkpoint", t.TempDir(), "-resume", t.TempDir()); err == nil {
+		t.Fatal("-checkpoint with -resume must error")
+	}
+	if _, err := runExp(t, "-experiment", "all", "-checkpoint", filepath.Join(t.TempDir(), "c")); err == nil {
+		t.Fatal("-checkpoint with -experiment all must error")
+	}
+	if _, err := runExp(t, "-resume", filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("-resume of a missing directory must error")
 	}
 }
 

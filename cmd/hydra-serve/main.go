@@ -4,16 +4,25 @@
 //
 // Endpoints:
 //
-//	POST /v1/allocate        allocate one taskset (cached, singleflight)
-//	POST /v1/allocate/batch  allocate many tasksets on the worker pool
-//	POST /v1/verify          check a result against the linear and exact analyses
-//	POST /v1/simulate        allocate and run the discrete-event simulator
-//	GET  /v1/schemes         list registered allocation schemes
-//	GET  /v1/stats           cache and latency counters
-//	GET  /healthz            liveness probe
+//	POST   /v1/allocate                 allocate one taskset (cached, singleflight)
+//	POST   /v1/allocate/batch           allocate many tasksets on the worker pool
+//	POST   /v1/verify                   check a result against the linear and exact analyses
+//	POST   /v1/simulate                 allocate and run the discrete-event simulator
+//	POST   /v1/experiments              start an experiment campaign job (fig1/fig2/...)
+//	GET    /v1/experiments              list campaign jobs and runnable experiments
+//	GET    /v1/experiments/{id}         job status: state, per-cell progress, ETA
+//	GET    /v1/experiments/{id}/result  the figure's row/point JSON once done
+//	GET    /v1/experiments/{id}/events  SSE progress stream
+//	DELETE /v1/experiments/{id}         cancel a campaign
+//	GET    /v1/schemes                  list registered allocation schemes
+//	GET    /v1/stats                    cache, latency and job counters
+//	GET    /healthz                     liveness probe
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: new connections stop,
-// and in-flight batch runs are cancelled via context between grid cells.
+// in-flight batch runs are cancelled via context between grid cells, and
+// running campaigns checkpoint and stop between cells. A campaign
+// interrupted this way resumes from its -jobs-dir checkpoint on the next
+// start and produces a result byte-identical to an uninterrupted run.
 package main
 
 import (
@@ -46,27 +55,33 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheSize := fs.Int("cache", 1024, "allocation result cache capacity (entries)")
 	workers := fs.Int("workers", 0, "default batch worker-pool width (0 = GOMAXPROCS)")
+	jobsDir := fs.String("jobs-dir", "", "experiment-campaign checkpoint directory; interrupted campaigns found there resume on startup (empty = fresh temp dir, campaigns do not survive the process)")
+	maxJobs := fs.Int("max-jobs", 2, "concurrently running experiment campaigns; further submissions queue")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining connections on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, *addr, service.Config{CacheSize: *cacheSize, Workers: *workers}, *shutdownTimeout, logw, ready)
+	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers, JobsDir: *jobsDir, MaxJobs: *maxJobs}
+	return serve(ctx, *addr, cfg, *shutdownTimeout, logw, ready)
 }
 
 // serve runs the service on addr until ctx is cancelled, then shuts down
 // gracefully: the service context is cancelled first (in-flight batch runs
 // observe it between grid cells and return), then the HTTP server drains.
 func serve(ctx context.Context, addr string, cfg service.Config, grace time.Duration, logw io.Writer, ready func(net.Addr)) error {
-	svc := service.New(cfg)
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
 	defer svc.Close()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{Handler: svc.Handler()}
-	fmt.Fprintf(logw, "hydra-serve: listening on %s\n", ln.Addr())
+	fmt.Fprintf(logw, "hydra-serve: listening on %s (jobs dir %s)\n", ln.Addr(), svc.JobsDir())
 	if ready != nil {
 		ready(ln.Addr())
 	}

@@ -40,6 +40,20 @@ type Options struct {
 	// adding a utilization level does not reshuffle every draw), or to share
 	// a workload stream across comparison arms.
 	Stream func(idx int) int64
+	// Precomputed, when non-nil, supplies results for cells that were
+	// already evaluated (e.g. replayed from a campaign checkpoint). A cell
+	// for which it returns ok is not scheduled onto a worker and keeps the
+	// supplied value; the value must have the Run's result type R, or the
+	// cell fails with an error. Because every cell draws its RNG from the
+	// run seed and its own stream label — never from shared state — skipping
+	// cells cannot perturb the draws of the cells that do run, which is what
+	// makes checkpoint/resume byte-identical to an uninterrupted run.
+	Precomputed func(idx int) (any, bool)
+	// OnCell, when non-nil, is called after each freshly evaluated cell
+	// with its index and result (type R). It is not called for precomputed
+	// or failed cells. Calls may come concurrently from multiple worker
+	// goroutines; the callback must synchronize internally.
+	OnCell func(idx int, result any)
 }
 
 // Run evaluates fn over every cell on a bounded worker pool and returns the
@@ -92,12 +106,28 @@ func Run[C, R any](ctx context.Context, cells []C, fn func(ctx context.Context, 
 					continue
 				}
 				results[idx] = r
+				if opts.OnCell != nil {
+					opts.OnCell(idx, r)
+				}
 			}
 		}()
 	}
 
 feed:
 	for i := range cells {
+		if opts.Precomputed != nil {
+			if v, ok := opts.Precomputed(i); ok {
+				// Writes race with nothing: each index is owned either by
+				// the feed (precomputed) or by exactly one worker (fresh).
+				if r, ok := v.(R); ok {
+					results[i] = r
+				} else {
+					errs[i] = fmt.Errorf("precomputed result has type %T, want %T", v, results[i])
+					cancel()
+				}
+				continue
+			}
+		}
 		select {
 		case idxCh <- i:
 		case <-ctx.Done():

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -214,6 +215,113 @@ func TestRunCancelReturnsWithinOneCell(t *testing.T) {
 	}
 	if limit := 20 * cellWork; elapsed > limit {
 		t.Fatalf("cancelled run took %v, want under %v (one cell is %v)", elapsed, limit, cellWork)
+	}
+}
+
+// OnCell fires once per freshly evaluated cell; Precomputed cells are skipped
+// entirely (no RNG draw, no worker slot, no OnCell) and keep their value.
+func TestRunPrecomputedAndOnCell(t *testing.T) {
+	cells := make([]int, 20)
+	for i := range cells {
+		cells[i] = i
+	}
+	fn := func(ctx context.Context, idx int, rng *rand.Rand, cell int) (int, error) {
+		return cell * 10, nil
+	}
+
+	var mu sync.Mutex
+	fresh := map[int]int{}
+	var executed atomic.Int64
+	out, err := Run(context.Background(), cells, func(ctx context.Context, idx int, rng *rand.Rand, cell int) (int, error) {
+		executed.Add(1)
+		return fn(ctx, idx, rng, cell)
+	}, Options{
+		Workers: 4,
+		Seed:    1,
+		Precomputed: func(idx int) (any, bool) {
+			if idx%3 == 0 {
+				return idx * 10, true // what the cell would have computed
+			}
+			return nil, false
+		},
+		OnCell: func(idx int, result any) {
+			mu.Lock()
+			defer mu.Unlock()
+			fresh[idx] = result.(int)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*10 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+	wantFresh := 0
+	for i := range cells {
+		if i%3 != 0 {
+			wantFresh++
+		}
+	}
+	if int(executed.Load()) != wantFresh {
+		t.Fatalf("executed %d cells, want %d (precomputed cells must not run)", executed.Load(), wantFresh)
+	}
+	if len(fresh) != wantFresh {
+		t.Fatalf("OnCell fired for %d cells, want %d", len(fresh), wantFresh)
+	}
+	for idx, v := range fresh {
+		if idx%3 == 0 {
+			t.Fatalf("OnCell fired for precomputed cell %d", idx)
+		}
+		if v != idx*10 {
+			t.Fatalf("OnCell(%d) saw %d, want %d", idx, v, idx*10)
+		}
+	}
+}
+
+// Precomputing a subset of cells must not change what the remaining cells
+// draw: the run's output equals the uninterrupted run's, which is the
+// property campaign resume relies on.
+func TestRunPrecomputedPreservesDeterminism(t *testing.T) {
+	cells := make([]int, 16)
+	fn := func(ctx context.Context, idx int, rng *rand.Rand, cell int) (int64, error) {
+		return rng.Int63(), nil
+	}
+	full, err := Run(context.Background(), cells, fn, Options{Workers: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Run(context.Background(), cells, fn, Options{
+		Workers: 4, Seed: 9,
+		Precomputed: func(idx int) (any, bool) {
+			if idx < 7 {
+				return full[idx], true
+			}
+			return nil, false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatal("precomputed prefix changed the remaining cells' results")
+	}
+}
+
+// A precomputed value of the wrong type is an error, not a silent zero value.
+func TestRunPrecomputedTypeMismatch(t *testing.T) {
+	cells := []int{0, 1, 2}
+	_, err := Run(context.Background(), cells, func(ctx context.Context, idx int, rng *rand.Rand, cell int) (int, error) {
+		return cell, nil
+	}, Options{Workers: 2, Seed: 1, Precomputed: func(idx int) (any, bool) {
+		if idx == 1 {
+			return "not an int", true
+		}
+		return nil, false
+	}})
+	if err == nil || !strings.Contains(err.Error(), "precomputed") {
+		t.Fatalf("err = %v, want precomputed type mismatch", err)
 	}
 }
 

@@ -74,6 +74,21 @@ func RunAblation(cfg AblationConfig) ([]AblationCell, error) {
 
 // RunAblationCtx is RunAblation with cancellation.
 func RunAblationCtx(ctx context.Context, cfg AblationConfig) ([]AblationCell, error) {
+	return runAblation(ctx, cfg, Hooks{})
+}
+
+// ablationCellResult is one taskset draw's outcome across every
+// (mode, scheme, heuristic) combo; exported fields let campaign checkpoints
+// round-trip it through JSON.
+type ablationCellResult struct {
+	Generated bool
+	Accepted  []bool
+	Tightness []float64 // per-task mean when accepted
+}
+
+// runAblation is the campaign-hooked driver behind RunAblationCtx and the
+// "ablation" spec.
+func runAblation(ctx context.Context, cfg AblationConfig, hooks Hooks) ([]AblationCell, error) {
 	c := cfg.withDefaults()
 	heuristics := []partition.Heuristic{partition.FirstFit, partition.BestFit, partition.WorstFit, partition.NextFit}
 	modes := []bool{false}
@@ -106,24 +121,22 @@ func RunAblationCtx(ctx context.Context, cfg AblationConfig) ([]AblationCell, er
 	// One engine cell per taskset draw: the draw is shared across every
 	// combo (paired comparison), so the workload stream depends only on the
 	// draw index — exactly the serial driver's historical stream.
-	type cellResult struct {
-		generated bool
-		accepted  []bool
-		tightness []float64 // per-task mean when accepted
-	}
 	draws := make([]int, c.TasksetsPerCell)
 	for t := range draws {
 		draws[t] = t
 	}
-	results, err := engine.Run(ctx, draws, func(ctx context.Context, idx int, rng *rand.Rand, t int) (cellResult, error) {
+	if hooks.Total != nil {
+		hooks.Total(len(draws))
+	}
+	results, err := engine.Run(ctx, draws, func(ctx context.Context, idx int, rng *rand.Rand, t int) (ablationCellResult, error) {
 		w, err := taskgen.Generate(taskgen.DefaultParams(c.M, c.UtilFrac*float64(c.M)), rng)
 		if err != nil {
-			return cellResult{}, nil
+			return ablationCellResult{}, nil
 		}
-		out := cellResult{
-			generated: true,
-			accepted:  make([]bool, len(combos)),
-			tightness: make([]float64, len(combos)),
+		out := ablationCellResult{
+			Generated: true,
+			Accepted:  make([]bool, len(combos)),
+			Tightness: make([]float64, len(combos)),
 		}
 		// The RT partition depends only on the heuristic; compute each once.
 		parts := make(map[partition.Heuristic][]int, len(heuristics))
@@ -139,15 +152,15 @@ func RunAblationCtx(ctx context.Context, cfg AblationConfig) ([]AblationCell, er
 			}
 			in, err := core.NewInput(c.M, w.RT, coreOf, w.Sec)
 			if err != nil {
-				return cellResult{}, err
+				return ablationCellResult{}, err
 			}
 			if r := cb.alloc.Allocate(in); r.Schedulable {
-				out.accepted[i] = true
-				out.tightness[i] = r.Cumulative / float64(len(w.Sec))
+				out.Accepted[i] = true
+				out.Tightness[i] = r.Cumulative / float64(len(w.Sec))
 			}
 		}
 		return out, nil
-	}, engine.Options{Workers: c.Workers, Seed: c.Seed})
+	}, campaignEngineOptions[ablationCellResult](engine.Options{Workers: c.Workers, Seed: c.Seed}, hooks))
 	if err != nil {
 		return nil, fmt.Errorf("ablation: %w", err)
 	}
@@ -158,14 +171,14 @@ func RunAblationCtx(ctx context.Context, cfg AblationConfig) ([]AblationCell, er
 	}
 	tightSum := make([]float64, len(combos))
 	for _, r := range results {
-		if !r.generated {
+		if !r.Generated {
 			continue
 		}
 		for i := range combos {
 			cells[i].Generated++
-			if r.accepted[i] {
+			if r.Accepted[i] {
 				cells[i].Accepted++
-				tightSum[i] += r.tightness[i]
+				tightSum[i] += r.Tightness[i]
 			}
 		}
 	}

@@ -94,6 +94,13 @@ func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 
 // RunFig1Ctx is RunFig1 with cancellation.
 func RunFig1Ctx(ctx context.Context, cfg Fig1Config) (*Fig1Result, error) {
+	return runFig1(ctx, cfg, Hooks{})
+}
+
+// runFig1 is the campaign-hooked driver behind RunFig1Ctx and the "fig1"
+// spec. One engine cell per platform size; Fig1Row round-trips through JSON
+// (including the raw ECDF samples), so checkpointed rows replay losslessly.
+func runFig1(ctx context.Context, cfg Fig1Config, hooks Hooks) (*Fig1Result, error) {
 	c := cfg.withDefaults()
 	allocs, err := core.Resolve(c.Schemes...)
 	if err != nil {
@@ -104,6 +111,9 @@ func RunFig1Ctx(ctx context.Context, cfg Fig1Config) (*Fig1Result, error) {
 	}
 	rt := uav.RTTasks()
 	sec := uav.SecurityTaskSet()
+	if hooks.Total != nil {
+		hooks.Total(len(c.Cores))
+	}
 
 	rows, err := engine.Run(ctx, c.Cores, func(ctx context.Context, idx int, rng *rand.Rand, m int) (Fig1Row, error) {
 		// Identical attack sequence for every scheme: paired comparison.
@@ -130,13 +140,13 @@ func RunFig1Ctx(ctx context.Context, cfg Fig1Config) (*Fig1Result, error) {
 			row.ImprovementPct = (base - row.Schemes[0].MeanDetection) / base * 100
 		}
 		return row, nil
-	}, engine.Options{
+	}, campaignEngineOptions[Fig1Row](engine.Options{
 		Workers: c.Workers,
 		Seed:    c.Seed,
 		// Stream by platform size: the attack sequence for a given (seed, M)
 		// does not depend on which other sizes are swept.
 		Stream: func(idx int) int64 { return int64(c.Cores[idx]) },
-	})
+	}, hooks))
 	if err != nil {
 		return nil, fmt.Errorf("fig1: %w", err)
 	}

@@ -38,6 +38,9 @@ type Fig2Config struct {
 
 func (c *Fig2Config) withDefaults() Fig2Config {
 	out := *c
+	if out.M <= 0 {
+		out.M = 2
+	}
 	if out.TasksetsPerPoint <= 0 {
 		out.TasksetsPerPoint = 250
 	}
@@ -95,6 +98,19 @@ func RunFig2(cfg Fig2Config) ([]Fig2Point, error) {
 
 // RunFig2Ctx is RunFig2 with cancellation.
 func RunFig2Ctx(ctx context.Context, cfg Fig2Config) ([]Fig2Point, error) {
+	return runFig2(ctx, cfg, Hooks{})
+}
+
+// fig2CellResult is one (utilization level, taskset draw) cell outcome. Its
+// fields are exported so campaign checkpoints can round-trip it through JSON.
+type fig2CellResult struct {
+	Generated bool
+	Accepted  []bool
+}
+
+// runFig2 is the campaign-hooked driver behind RunFig2Ctx and the "fig2"
+// spec.
+func runFig2(ctx context.Context, cfg Fig2Config, hooks Hooks) ([]Fig2Point, error) {
 	c := cfg.withDefaults()
 	if c.M < 2 {
 		return nil, fmt.Errorf("fig2: M must be >= 2 (SingleCore needs a spare core), got %d", c.M)
@@ -119,10 +135,6 @@ func RunFig2Ctx(ctx context.Context, cfg Fig2Config) ([]Fig2Point, error) {
 		k, t int
 		util float64
 	}
-	type cellResult struct {
-		generated bool
-		accepted  []bool
-	}
 	mf := float64(c.M)
 	steps := int(0.975/c.UtilStepFrac + 1e-9)
 	cells := make([]cell, 0, steps*c.TasksetsPerPoint)
@@ -132,16 +144,19 @@ func RunFig2Ctx(ctx context.Context, cfg Fig2Config) ([]Fig2Point, error) {
 			cells = append(cells, cell{k: k, t: t, util: util})
 		}
 	}
+	if hooks.Total != nil {
+		hooks.Total(len(cells))
+	}
 
-	results, err := engine.Run(ctx, cells, func(ctx context.Context, idx int, rng *rand.Rand, cl cell) (cellResult, error) {
+	results, err := engine.Run(ctx, cells, func(ctx context.Context, idx int, rng *rand.Rand, cl cell) (fig2CellResult, error) {
 		w, err := taskgen.Generate(taskgen.DefaultParams(c.M, cl.util), rng)
 		if err != nil {
-			return cellResult{}, nil // utilization not splittable at this draw; rare
+			return fig2CellResult{}, nil // utilization not splittable at this draw; rare
 		}
 		if !necessaryCondition(w, c.M) {
-			return cellResult{}, nil // trivially unschedulable; excluded per the paper
+			return fig2CellResult{}, nil // trivially unschedulable; excluded per the paper
 		}
-		out := cellResult{generated: true, accepted: make([]bool, len(allocs))}
+		out := fig2CellResult{Generated: true, Accepted: make([]bool, len(allocs))}
 		part, err := partition.PartitionRT(w.RT, c.M, c.Heuristic)
 		if err != nil {
 			// The shared M-core partition failed. Partition-dependent schemes
@@ -151,26 +166,26 @@ func RunFig2Ctx(ctx context.Context, cfg Fig2Config) ([]Fig2Point, error) {
 			in := &core.Input{M: c.M, RT: w.RT, RTPartition: make([]int, len(w.RT)), Sec: w.Sec}
 			for i, a := range allocs {
 				if selfPartitions[i] {
-					out.accepted[i] = a.Allocate(in).Schedulable
+					out.Accepted[i] = a.Allocate(in).Schedulable
 				}
 			}
 			return out, nil
 		}
 		in, err := core.NewInput(c.M, w.RT, part.CoreOf, w.Sec)
 		if err != nil {
-			return cellResult{}, err
+			return fig2CellResult{}, err
 		}
 		for i, a := range allocs {
-			out.accepted[i] = a.Allocate(in).Schedulable
+			out.Accepted[i] = a.Allocate(in).Schedulable
 		}
 		return out, nil
-	}, engine.Options{
+	}, campaignEngineOptions[fig2CellResult](engine.Options{
 		Workers: c.Workers,
 		Seed:    c.Seed,
 		// Stream by (level, draw) so the workload stream is stable under
 		// grid reshaping (matching the serial driver's historical streams).
 		Stream: func(idx int) int64 { return int64(cells[idx].k)<<32 | int64(cells[idx].t) },
-	})
+	}, hooks))
 	if err != nil {
 		return nil, fmt.Errorf("fig2: %w", err)
 	}
@@ -184,11 +199,11 @@ func RunFig2Ctx(ctx context.Context, cfg Fig2Config) ([]Fig2Point, error) {
 		}
 		for t := 0; t < c.TasksetsPerPoint; t++ {
 			r := results[(k-1)*c.TasksetsPerPoint+t]
-			if !r.generated {
+			if !r.Generated {
 				continue
 			}
 			pt.Generated++
-			for i, ok := range r.accepted {
+			for i, ok := range r.Accepted {
 				if ok {
 					pt.Accepted[i]++
 				}

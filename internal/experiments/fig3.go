@@ -75,6 +75,19 @@ func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
 
 // RunFig3Ctx is RunFig3 with cancellation.
 func RunFig3Ctx(ctx context.Context, cfg Fig3Config) ([]Fig3Point, error) {
+	return runFig3(ctx, cfg, Hooks{})
+}
+
+// fig3CellResult is one taskset draw's outcome; exported fields let campaign
+// checkpoints round-trip it through JSON.
+type fig3CellResult struct {
+	Compared bool
+	Gap      float64
+}
+
+// runFig3 is the campaign-hooked driver behind RunFig3Ctx and the "fig3"
+// spec.
+func runFig3(ctx context.Context, cfg Fig3Config, hooks Hooks) ([]Fig3Point, error) {
 	c := cfg.withDefaults()
 	allocs, err := core.Resolve(c.Scheme)
 	if err != nil {
@@ -87,10 +100,6 @@ func RunFig3Ctx(ctx context.Context, cfg Fig3Config) ([]Fig3Point, error) {
 		k, t int
 		util float64
 	}
-	type cellResult struct {
-		compared bool
-		gap      float64
-	}
 	mf := float64(c.M)
 	steps := int(0.975/c.UtilStepFrac + 1e-9)
 	cells := make([]cell, 0, steps*c.TasksetsPerPoint)
@@ -100,34 +109,37 @@ func RunFig3Ctx(ctx context.Context, cfg Fig3Config) ([]Fig3Point, error) {
 			cells = append(cells, cell{k: k, t: t, util: util})
 		}
 	}
+	if hooks.Total != nil {
+		hooks.Total(len(cells))
+	}
 
-	results, err := engine.Run(ctx, cells, func(ctx context.Context, idx int, rng *rand.Rand, cl cell) (cellResult, error) {
+	results, err := engine.Run(ctx, cells, func(ctx context.Context, idx int, rng *rand.Rand, cl cell) (fig3CellResult, error) {
 		params := taskgen.DefaultParams(c.M, cl.util)
 		params.NS = c.NSMin + rng.Intn(c.NSMax-c.NSMin+1)
 		w, err := taskgen.Generate(params, rng)
 		if err != nil {
-			return cellResult{}, nil
+			return fig3CellResult{}, nil
 		}
 		part, err := partition.PartitionRT(w.RT, c.M, partition.BestFit)
 		if err != nil {
-			return cellResult{}, nil
+			return fig3CellResult{}, nil
 		}
 		in, err := core.NewInput(c.M, w.RT, part.CoreOf, w.Sec)
 		if err != nil {
-			return cellResult{}, err
+			return fig3CellResult{}, err
 		}
 		hyd := alloc.Allocate(in)
 		opt := optimal.Allocate(in)
 		gap, ok := core.TightnessGap(opt, hyd)
 		if !ok {
-			return cellResult{}, nil
+			return fig3CellResult{}, nil
 		}
-		return cellResult{compared: true, gap: gap}, nil
-	}, engine.Options{
+		return fig3CellResult{Compared: true, Gap: gap}, nil
+	}, campaignEngineOptions[fig3CellResult](engine.Options{
 		Workers: c.Workers,
 		Seed:    c.Seed + 1000, // historical stream offset of the serial driver
 		Stream:  func(idx int) int64 { return int64(cells[idx].k)<<32 | int64(cells[idx].t) },
-	})
+	}, hooks))
 	if err != nil {
 		return nil, fmt.Errorf("fig3: %w", err)
 	}
@@ -138,13 +150,13 @@ func RunFig3Ctx(ctx context.Context, cfg Fig3Config) ([]Fig3Point, error) {
 		var sum float64
 		for t := 0; t < c.TasksetsPerPoint; t++ {
 			r := results[(k-1)*c.TasksetsPerPoint+t]
-			if !r.compared {
+			if !r.Compared {
 				continue
 			}
 			pt.Compared++
-			sum += r.gap
-			if r.gap > pt.MaxGapPct {
-				pt.MaxGapPct = r.gap
+			sum += r.Gap
+			if r.Gap > pt.MaxGapPct {
+				pt.MaxGapPct = r.Gap
 			}
 		}
 		if pt.Compared > 0 {

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestSpecCatalogue(t *testing.T) {
+	names := SpecNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("SpecNames not sorted: %v", names)
+	}
+	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "ablation"} {
+		if _, ok := LookupSpec(want); !ok {
+			t.Fatalf("spec %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := ResolveSpec("bogus"); err == nil {
+		t.Fatal("unknown spec must error")
+	}
+}
+
+func TestSpecConfigStrict(t *testing.T) {
+	spec, err := ResolveSpec("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Run(context.Background(), json.RawMessage(`{"Bogus": 1}`), Hooks{}); err == nil {
+		t.Fatal("unknown config field must error")
+	}
+	if _, err := spec.Run(context.Background(), json.RawMessage(`{nope`), Hooks{}); err == nil {
+		t.Fatal("malformed config must error")
+	}
+}
+
+// An omitted M selects the paper's smallest platform on both entry points
+// (the spec path and the direct config), like fig3's default.
+func TestFig2DefaultM(t *testing.T) {
+	got, err := RunFig2(Fig2Config{TasksetsPerPoint: 2, UtilStepFrac: 0.25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunFig2(Fig2Config{M: 2, TasksetsPerPoint: 2, UtilStepFrac: 0.25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("M=0 must default to M=2")
+	}
+	if _, err := RunFig2(Fig2Config{M: 1, TasksetsPerPoint: 2, UtilStepFrac: 0.25}); err == nil {
+		t.Fatal("explicit M=1 must still error")
+	}
+}
+
+// A spec run with empty hooks must agree with the direct driver call.
+func TestSpecMatchesDirectDriver(t *testing.T) {
+	spec, err := ResolveSpec("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := spec.Run(context.Background(), json.RawMessage(`{"M": 2, "TasksetsPerPoint": 3, "UtilStepFrac": 0.25, "Seed": 7}`), Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunFig2(Fig2Config{M: 2, TasksetsPerPoint: 3, UtilStepFrac: 0.25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, any(want)) {
+		t.Fatalf("spec result differs from direct driver:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// recorder is a Hooks implementation capturing the checkpoint stream.
+type recorder struct {
+	mu    sync.Mutex
+	total int
+	cells map[int][]byte
+}
+
+func newRecorder() *recorder { return &recorder{cells: map[int][]byte{}} }
+
+func (r *recorder) hooks() Hooks {
+	return Hooks{
+		Total: func(n int) { r.mu.Lock(); r.total = n; r.mu.Unlock() },
+		OnCell: func(idx int, encoded []byte) {
+			r.mu.Lock()
+			r.cells[idx] = append([]byte(nil), encoded...)
+			r.mu.Unlock()
+		},
+	}
+}
+
+// Every spec's checkpoint stream must replay to the byte-identical result:
+// run once recording every cell, then run again replaying all of them (no
+// cell recomputes) and compare the marshaled results.
+func TestSpecCheckpointReplayByteIdentical(t *testing.T) {
+	configs := map[string]string{
+		"table1":   ``,
+		"fig1":     `{"Cores": [2], "Attacks": 40, "Seed": 3}`,
+		"fig2":     `{"M": 2, "TasksetsPerPoint": 2, "UtilStepFrac": 0.25, "Seed": 3}`,
+		"fig3":     `{"TasksetsPerPoint": 2, "UtilStepFrac": 0.25, "Seed": 3}`,
+		"ablation": `{"M": 2, "TasksetsPerCell": 4, "Seed": 3}`,
+	}
+	for _, name := range SpecNames() {
+		cfg, ok := configs[name]
+		if !ok {
+			t.Fatalf("no test config for spec %q", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			spec, err := ResolveSpec(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := newRecorder()
+			full, err := spec.Run(context.Background(), json.RawMessage(cfg), rec.hooks())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.total == 0 || len(rec.cells) != rec.total {
+				t.Fatalf("checkpoint stream incomplete: total=%d cells=%d", rec.total, len(rec.cells))
+			}
+			var recomputed int
+			replayed, err := spec.Run(context.Background(), json.RawMessage(cfg), Hooks{
+				OnCell: func(idx int, encoded []byte) { recomputed++ },
+				Resume: func(idx int) ([]byte, bool) {
+					b, ok := rec.cells[idx]
+					return b, ok
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name != "table1" && recomputed != 0 {
+				t.Fatalf("%d cells recomputed despite full checkpoint", recomputed)
+			}
+			a, err := json.Marshal(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(replayed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Fatalf("replayed result differs from original:\n%s\nvs\n%s", b, a)
+			}
+		})
+	}
+}
+
+// A corrupt checkpoint entry is recomputed, not fatal, and determinism makes
+// the recomputation byte-identical anyway.
+func TestSpecCorruptCheckpointEntryRecomputed(t *testing.T) {
+	spec, err := ResolveSpec("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := json.RawMessage(`{"M": 2, "TasksetsPerPoint": 2, "UtilStepFrac": 0.25, "Seed": 3}`)
+	rec := newRecorder()
+	full, err := spec.Run(context.Background(), cfg, rec.hooks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := spec.Run(context.Background(), cfg, Hooks{
+		Resume: func(idx int) ([]byte, bool) {
+			if idx == 1 {
+				return []byte(`{broken`), true
+			}
+			b, ok := rec.cells[idx]
+			return b, ok
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(full)
+	b, _ := json.Marshal(replayed)
+	if string(a) != string(b) {
+		t.Fatal("corrupt entry changed the result")
+	}
+}

@@ -1,0 +1,53 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// checkpointLine is one cells.jsonl record: a completed grid cell and its
+// spec-encoded result.
+type checkpointLine struct {
+	Idx    int             `json:"idx"`
+	Result json.RawMessage `json:"result"`
+}
+
+// loadCheckpoint replays a cells.jsonl log into an idx -> result map. The
+// log is append-only and may end in a truncated line when the writing
+// process was killed mid-append; everything from the first malformed line on
+// is discarded and truncated away so future appends keep the file
+// well-formed. A missing log is an empty checkpoint.
+func loadCheckpoint(path string) (map[int][]byte, error) {
+	done := map[int][]byte{}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return done, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read checkpoint: %w", err)
+	}
+	valid := 0 // byte length of the well-formed prefix
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break // truncated final line
+		}
+		line := raw[off : off+nl]
+		var rec checkpointLine
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Idx < 0 || len(rec.Result) == 0 {
+			break // corrupt from here on; drop the tail
+		}
+		done[rec.Idx] = append([]byte(nil), rec.Result...)
+		off += nl + 1
+		valid = off
+	}
+	if valid < len(raw) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, fmt.Errorf("jobs: trim torn checkpoint tail: %w", err)
+		}
+	}
+	return done, nil
+}

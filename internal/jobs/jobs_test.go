@@ -1,0 +1,664 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hydra/internal/engine"
+	"hydra/internal/experiments"
+)
+
+// slowSpec is a registered test experiment with a controllable per-cell
+// delay, so manager cancellation and restart tests have predictable timing.
+// It follows the same campaign-hook contract as the real specs.
+type slowSpec struct{}
+
+type slowSpecConfig struct {
+	Cells   int
+	DelayMS int
+	Workers int
+	Seed    int64
+}
+
+func (slowSpec) Name() string { return "test-slow-spec" }
+
+func (slowSpec) Run(ctx context.Context, config json.RawMessage, h experiments.Hooks) (any, error) {
+	var cfg slowSpecConfig
+	if err := json.Unmarshal(config, &cfg); err != nil {
+		return nil, err
+	}
+	cells := make([]int, cfg.Cells)
+	if h.Total != nil {
+		h.Total(len(cells))
+	}
+	opts := engine.Options{Workers: cfg.Workers, Seed: cfg.Seed}
+	if h.OnCell != nil {
+		opts.OnCell = func(idx int, r any) {
+			b, err := json.Marshal(r.(float64))
+			if err != nil {
+				return
+			}
+			h.OnCell(idx, b)
+		}
+	}
+	if h.Resume != nil {
+		opts.Precomputed = func(idx int) (any, bool) {
+			b, ok := h.Resume(idx)
+			if !ok {
+				return nil, false
+			}
+			var v float64
+			if err := json.Unmarshal(b, &v); err != nil {
+				return nil, false
+			}
+			return v, true
+		}
+	}
+	results, err := engine.Run(ctx, cells, func(ctx context.Context, idx int, rng *rand.Rand, cell int) (float64, error) {
+		time.Sleep(time.Duration(cfg.DelayMS) * time.Millisecond)
+		return rng.Float64(), nil
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for _, v := range results {
+		sum += v
+	}
+	return map[string]any{"sum": sum, "values": results}, nil
+}
+
+func TestMain(m *testing.M) {
+	experiments.RegisterSpec(slowSpec{})
+	os.Exit(m.Run())
+}
+
+// fig2Config builds the small acceptance-ratio campaign the determinism
+// tests run: 19 utilization levels x 4 draws = 76 cells at M=2.
+func fig2Config(workers int) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(
+		`{"M": 2, "TasksetsPerPoint": 4, "UtilStepFrac": 0.05, "Seed": 11, "Workers": %d}`, workers))
+}
+
+// The tentpole guarantee: a campaign cancelled mid-grid and resumed emits a
+// result byte-identical to an uninterrupted run, at 1 worker and at 8.
+func TestCampaignKillResumeByteIdentical(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := fig2Config(workers)
+
+			clean, err := Create(t.TempDir(), "fig2", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := clean.Run(context.Background(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			interrupted, err := Create(dir, "fig2", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			_, err = interrupted.Run(ctx, func(p Progress) {
+				if p.Done >= 10 {
+					cancel() // kill the campaign mid-grid
+				}
+			})
+			if err == nil {
+				t.Fatal("interrupted run must error")
+			}
+			if m := interrupted.Meta(); m.State != StateRunning {
+				t.Fatalf("interrupted campaign state = %s, want running (resumable)", m.State)
+			}
+
+			resumed, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck := resumed.Checkpointed()
+			if ck < 10 || ck >= 76 {
+				t.Fatalf("checkpointed cells = %d, want a partial grid", ck)
+			}
+			var last Progress
+			got, err := resumed.Run(context.Background(), func(p Progress) { last = p })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if last.Replayed < 10 || last.Total != 76 || last.Done != 76 {
+				t.Fatalf("resume progress %+v, want replayed>=10 over 76/76", last)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("resumed result differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+			}
+			if m := resumed.Meta(); m.State != StateDone {
+				t.Fatalf("state after resume = %s, want done", m.State)
+			}
+			// The persisted result matches what Run returned.
+			onDisk, err := resumed.Result()
+			if err != nil || !bytes.Equal(onDisk, want) {
+				t.Fatalf("result.json mismatch (err %v)", err)
+			}
+		})
+	}
+}
+
+// A torn final checkpoint line (process killed mid-append) is discarded and
+// the lost cell recomputed; the result is still byte-identical.
+func TestCampaignTornCheckpointTail(t *testing.T) {
+	cfg := fig2Config(2)
+	clean, err := Create(t.TempDir(), "fig2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	c, err := Create(dir, "fig2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := c.Run(ctx, func(p Progress) {
+		if p.Done >= 5 {
+			cancel()
+		}
+	}); err == nil {
+		t.Fatal("interrupted run must error")
+	}
+	// Tear the log: chop the final line in half mid-record.
+	logPath := filepath.Join(dir, cellsFile)
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("torn checkpoint changed the result")
+	}
+}
+
+// A checkpoint entry whose payload no longer decodes (e.g. written by an
+// older cell-result shape) is recomputed without double-counting progress.
+func TestCampaignCorruptEntryProgressAccounting(t *testing.T) {
+	cfg := fig2Config(2)
+	clean, err := Create(t.TempDir(), "fig2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	c, err := Create(dir, "fig2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := c.Run(ctx, func(p Progress) {
+		if p.Done >= 8 {
+			cancel()
+		}
+	}); err == nil {
+		t.Fatal("interrupted run must error")
+	}
+	// Replace one entry's payload with valid JSON that does not decode as a
+	// fig2 cell result.
+	logPath := filepath.Join(dir, cellsFile)
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n"))
+	var first checkpointLine
+	if err := json.Unmarshal(lines[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	lines[0], err = json.Marshal(checkpointLine{Idx: first.Idx, Result: json.RawMessage(`42`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, append(bytes.Join(lines, []byte("\n")), '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := resumed.Checkpointed()
+	var last Progress
+	got, err := resumed.Run(context.Background(), func(p Progress) { last = p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("corrupt entry changed the result")
+	}
+	// The corrupt cell recomputed: counted once in Done, not in Replayed.
+	if last.Done != last.Total || last.Replayed != ck-1 {
+		t.Fatalf("progress %+v with %d checkpointed, want Done==Total and Replayed==%d", last, ck, ck-1)
+	}
+}
+
+// A failed campaign re-run to success must drop its stale error.
+func TestCampaignRerunAfterFailureClearsError(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Create(dir, "table1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a past transient failure persisted in the manifest.
+	c.mu.Lock()
+	c.meta.State = StateFailed
+	c.meta.Error = "boom"
+	if err := c.writeMetaLocked(); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Unlock()
+
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reopened.Run(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if m := reopened.Meta(); m.State != StateDone || m.Error != "" {
+		t.Fatalf("meta after successful re-run: %+v, want done with no error", m)
+	}
+}
+
+// Cancelling an already-terminal job must not rewrite its persisted state.
+func TestManagerCancelOfFailedJobKeepsFailure(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Submit("fig2", json.RawMessage(`{"Bogus": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if got, _ := m.Get(st.ID); got.State == StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never failed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, err := m.Cancel(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateFailed {
+		t.Fatalf("cancel of failed job reported %s, want failed", got.State)
+	}
+	m.Close()
+
+	// The failure (and its error) survives a restart untouched.
+	m2, err := NewManager(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	after, ok := m2.Get(st.ID)
+	if !ok || after.State != StateFailed || after.Error == "" {
+		t.Fatalf("job after restart: %+v, want failed with error", after)
+	}
+}
+
+func TestCampaignCreateAndOpenErrors(t *testing.T) {
+	if _, err := Create(t.TempDir(), "bogus", nil); err == nil {
+		t.Fatal("unknown spec must error")
+	}
+	dir := t.TempDir()
+	if _, err := Create(dir, "table1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(dir, "table1", nil); err == nil {
+		t.Fatal("double create in one directory must error")
+	}
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("open of an empty directory must error")
+	}
+}
+
+func TestCampaignCancelledRefusesRun(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Create(dir, "table1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkCancelled(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background(), nil); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	// And the cancellation is persistent.
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reopened.Run(context.Background(), nil); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("reopened err = %v, want ErrCancelled", err)
+	}
+}
+
+func TestCampaignCompletedReturnsPersistedResult(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Create(dir, "table1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := reopened.Run(context.Background(), nil)
+	if err != nil || !bytes.Equal(first, again) {
+		t.Fatalf("completed campaign re-run: err=%v, bytes equal=%v", err, bytes.Equal(first, again))
+	}
+}
+
+// waitState polls a job until it reaches want (or any terminal state).
+func waitState(t *testing.T, m *Manager, id string, want State) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Status{}
+}
+
+func slowConfig(cells, delayMS int) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"Cells": %d, "DelayMS": %d, "Workers": 1, "Seed": 5}`, cells, delayMS))
+}
+
+func TestManagerSubmitRunsToCompletion(t *testing.T) {
+	m, err := NewManager(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st, err := m.Submit("test-slow-spec", slowConfig(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, st.ID, StateDone)
+	if final.TotalCells != 10 || final.DoneCells != 10 || final.ReplayedCells != 0 {
+		t.Fatalf("final status %+v", final)
+	}
+	body, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Sum    float64   `json:"sum"`
+		Values []float64 `json:"values"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 10 || res.Sum == 0 {
+		t.Fatalf("result %+v", res)
+	}
+	c := m.Counters()
+	if c.Submitted != 1 || c.Done != 1 || c.CellsCompleted != 10 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestManagerUnknownSpecAndUnknownJob(t *testing.T) {
+	m, err := NewManager(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Submit("bogus", nil); err == nil {
+		t.Fatal("unknown spec must error")
+	}
+	if _, ok := m.Get("nope"); ok {
+		t.Fatal("unknown job must not resolve")
+	}
+	if _, err := m.Result("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestManagerBadConfigFailsJob(t *testing.T) {
+	m, err := NewManager(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st, err := m.Submit("fig2", json.RawMessage(`{"Bogus": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, _ := m.Get(st.ID)
+		if got.State == StateFailed {
+			if got.Error == "" {
+				t.Fatal("failed job must carry its error")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", got.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestManagerCancelRunningJob(t *testing.T) {
+	m, err := NewManager(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st, err := m.Submit("test-slow-spec", slowConfig(500, 10)) // 5s uncancelled
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateRunning)
+	start := time.Now()
+	got, err := m.Cancel(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("state after cancel = %s", got.State)
+	}
+	// The run slot frees promptly (between cells), long before 5s.
+	next, err := m.Submit("test-slow-spec", slowConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, next.ID, StateDone)
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancellation was not prompt: %v", elapsed)
+	}
+	if _, err := m.Result(st.ID); err == nil {
+		t.Fatal("cancelled job must not serve a result")
+	}
+}
+
+func TestManagerMaxJobsQueuesAndCancelSkipsQueued(t *testing.T) {
+	m, err := NewManager(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	first, err := m.Submit("test-slow-spec", slowConfig(300, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, first.ID, StateRunning)
+	second, err := m.Submit("test-slow-spec", slowConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.Get(second.ID); st.State != StateQueued {
+		t.Fatalf("second job state = %s, want queued behind max-jobs=1", st.State)
+	}
+	if c := m.Counters(); c.Queued != 1 || c.Running != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+	// Cancelling the queued job prevents it from ever starting.
+	if _, err := m.Cancel(second.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if st, _ := m.Get(second.ID); st.State != StateCancelled || st.DoneCells != 0 {
+		t.Fatalf("queued-then-cancelled job: %+v", st)
+	}
+}
+
+// A manager killed mid-campaign (Close cancels between cells) leaves the
+// campaign resumable; a new manager on the same directory finishes it and
+// the result is byte-identical to an uninterrupted run.
+func TestManagerRestartResumesInterruptedJob(t *testing.T) {
+	cfg := slowConfig(150, 5) // ~750ms uncancelled
+	cleanDir := t.TempDir()
+	clean, err := Create(cleanDir, "test-slow-spec", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	m1, err := NewManager(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit("test-slow-spec", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it checkpoint a few cells, then kill the manager.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, _ := m1.Get(st.ID)
+		if got.DoneCells >= 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job made no progress: %+v", got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m1.Close()
+
+	m2, err := NewManager(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if c := m2.Counters(); c.Resumed != 1 {
+		t.Fatalf("counters after restart: %+v", c)
+	}
+	final := waitState(t, m2, st.ID, StateDone)
+	if final.ReplayedCells < 5 {
+		t.Fatalf("resume did not replay checkpointed cells: %+v", final)
+	}
+	got, err := m2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restarted job result differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestManagerWatchSeesTerminalState(t *testing.T) {
+	m, err := NewManager(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st, err := m.Submit("test-slow-spec", slowConfig(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		got, ok := m.Get(st.ID)
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if got.State.Terminal() {
+			if got.State != StateDone {
+				t.Fatalf("terminal state %s", got.State)
+			}
+			return
+		}
+		ch, ok := m.Watch(st.ID)
+		if !ok {
+			t.Fatal("watch on live job failed")
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			t.Fatal("no status change before deadline")
+		}
+	}
+}

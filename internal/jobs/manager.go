@@ -1,0 +1,398 @@
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StateQueued is the in-memory state of a job waiting for a run slot; it is
+// never persisted (a queued campaign's manifest says "running", which is
+// exactly what makes it resume after a crash).
+const StateQueued State = "queued"
+
+// Status is the externally visible snapshot of one job, shaped for the
+// /v1/experiments API.
+type Status struct {
+	ID            string `json:"id"`
+	Spec          string `json:"spec"`
+	State         State  `json:"state"`
+	TotalCells    int    `json:"total_cells"`
+	DoneCells     int    `json:"done_cells"`
+	ReplayedCells int    `json:"replayed_cells"`
+	// EtaMS estimates the remaining runtime from the throughput of the
+	// cells completed in this process (fresh cells / elapsed); 0 until the
+	// first fresh cell completes or when the job is not running.
+	EtaMS float64 `json:"eta_ms,omitempty"`
+	Error string  `json:"error,omitempty"`
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Counters aggregates job activity for /v1/stats: monotonic process-lifetime
+// counters (Submitted, Resumed, CellsCompleted) plus per-state gauges over
+// every job the manager knows, including campaigns loaded from disk.
+type Counters struct {
+	Submitted      uint64 `json:"submitted"`
+	Resumed        uint64 `json:"resumed"`
+	Queued         int    `json:"queued"`
+	Running        int    `json:"running"`
+	Done           int    `json:"done"`
+	Failed         int    `json:"failed"`
+	Cancelled      int    `json:"cancelled"`
+	CellsCompleted uint64 `json:"cells_completed"`
+}
+
+// Job is one managed campaign.
+type Job struct {
+	id   string
+	spec string // cached from the campaign manifest (avoids camp.mu under j.mu)
+	camp *Campaign
+
+	mu      sync.Mutex
+	state   State
+	prog    Progress
+	errMsg  string
+	cancel  context.CancelFunc
+	changed chan struct{} // closed and replaced on every status change
+	started time.Time     // when this process started running it
+	fresh   int           // fresh cells completed this process
+}
+
+// notifyLocked wakes every watcher; callers hold j.mu.
+func (j *Job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// Manager hosts experiment campaigns as background jobs under one jobs
+// directory (one campaign subdirectory per job, named by job id). At
+// startup it reloads every campaign found there and resumes the interrupted
+// ones; at most maxJobs campaigns run concurrently, the rest queue.
+type Manager struct {
+	dir       string
+	ephemeral bool // dir is a temp dir we created; removed on Close
+	ctx       context.Context
+	cancel    context.CancelFunc
+	sem       chan struct{}
+	wg        sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	submitted uint64
+	resumed   uint64
+	cells     uint64
+}
+
+// ErrNotFound is returned for unknown job ids.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// NewManager opens (creating if needed) the jobs directory and resumes every
+// interrupted campaign found in it. An empty dir selects a fresh temporary
+// directory (campaigns then survive only as long as the directory does).
+// maxJobs bounds concurrently running campaigns; <= 0 selects 2.
+func NewManager(dir string, maxJobs int) (*Manager, error) {
+	var err error
+	ephemeral := false
+	if dir == "" {
+		if dir, err = os.MkdirTemp("", "hydra-jobs-"); err != nil {
+			return nil, err
+		}
+		ephemeral = true
+	} else if err = os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if maxJobs <= 0 {
+		maxJobs = 2
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		dir:       dir,
+		ephemeral: ephemeral,
+		ctx:       ctx,
+		cancel:    cancel,
+		sem:       make(chan struct{}, maxJobs),
+		jobs:      map[string]*Job{},
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Name() < entries[b].Name() })
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		camp, err := Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue // not a campaign directory (or unreadable); leave it alone
+		}
+		meta := camp.Meta()
+		j := &Job{id: e.Name(), spec: meta.Spec, camp: camp, changed: make(chan struct{})}
+		j.state = meta.State
+		j.errMsg = meta.Error
+		j.prog = Progress{Done: camp.Checkpointed(), Replayed: camp.Checkpointed()}
+		m.jobs[e.Name()] = j
+		if meta.State == StateRunning {
+			j.state = StateQueued
+			m.resumed++
+			m.launch(j)
+		}
+	}
+	return m, nil
+}
+
+// Dir returns the jobs directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Close cancels every running campaign (between grid cells) and waits for
+// them to unwind. Interrupted campaigns stay resumable: their manifests
+// still say "running", so the next Manager on the same directory picks them
+// back up.
+func (m *Manager) Close() {
+	m.cancel()
+	m.wg.Wait()
+	if m.ephemeral {
+		os.RemoveAll(m.dir)
+	}
+}
+
+// Submit creates a new campaign for the named experiment spec and schedules
+// it. The returned Status reflects the freshly queued job.
+func (m *Manager) Submit(spec string, config json.RawMessage) (Status, error) {
+	id, err := newID()
+	if err != nil {
+		return Status{}, err
+	}
+	camp, err := Create(filepath.Join(m.dir, id), spec, config)
+	if err != nil {
+		return Status{}, err
+	}
+	j := &Job{id: id, spec: spec, camp: camp, state: StateQueued, changed: make(chan struct{})}
+	m.mu.Lock()
+	m.jobs[id] = j
+	m.submitted++
+	m.mu.Unlock()
+	m.launch(j)
+	return m.snapshot(j), nil
+}
+
+// launch schedules a job onto the bounded run pool.
+func (m *Manager) launch(j *Job) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		select {
+		case m.sem <- struct{}{}:
+			defer func() { <-m.sem }()
+		case <-m.ctx.Done():
+			return // shutting down; the campaign stays resumable
+		}
+		j.mu.Lock()
+		if j.state != StateQueued { // cancelled while waiting for a slot
+			j.mu.Unlock()
+			return
+		}
+		ctx, cancel := context.WithCancel(m.ctx)
+		j.cancel = cancel
+		j.state = StateRunning
+		j.started = time.Now()
+		j.notifyLocked()
+		j.mu.Unlock()
+		defer cancel()
+
+		_, err := j.camp.Run(ctx, func(p Progress) { m.onProgress(j, p) })
+
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		switch {
+		case err == nil:
+			j.state = StateDone
+		case j.state == StateCancelled || errors.Is(err, ErrCancelled):
+			j.state = StateCancelled
+		case m.ctx.Err() != nil:
+			// Manager shutdown: the campaign was interrupted, not finished.
+			// Keep the in-memory state at "running" to mirror the manifest.
+			j.state = StateRunning
+		default:
+			j.state = StateFailed
+			j.errMsg = err.Error()
+		}
+		j.notifyLocked()
+	}()
+}
+
+// onProgress folds a campaign progress snapshot into the job and the
+// manager's cell counter.
+func (m *Manager) onProgress(j *Job, p Progress) {
+	j.mu.Lock()
+	freshDelta := (p.Done - p.Replayed) - (j.prog.Done - j.prog.Replayed)
+	j.prog = p
+	j.fresh += freshDelta
+	j.notifyLocked()
+	j.mu.Unlock()
+	if freshDelta > 0 {
+		m.mu.Lock()
+		m.cells += uint64(freshDelta)
+		m.mu.Unlock()
+	}
+}
+
+// Cancel stops a job: a queued job never starts, a running one observes the
+// cancellation between grid cells. The campaign is marked cancelled on disk
+// so a restart does not resurrect it. Cancelling a finished job is a no-op.
+func (m *Manager) Cancel(id string) (Status, error) {
+	j, ok := m.get(id)
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	j.mu.Lock()
+	var cancel context.CancelFunc
+	terminal := j.state.Terminal()
+	if !terminal {
+		j.state = StateCancelled
+		cancel = j.cancel
+		j.notifyLocked()
+	}
+	j.mu.Unlock()
+	if terminal { // already finished one way or another; nothing to cancel
+		return m.snapshot(j), nil
+	}
+	if err := j.camp.MarkCancelled(); err != nil {
+		return Status{}, err
+	}
+	if cancel != nil {
+		cancel()
+	}
+	return m.snapshot(j), nil
+}
+
+// Get returns the status of one job.
+func (m *Manager) Get(id string) (Status, bool) {
+	j, ok := m.get(id)
+	if !ok {
+		return Status{}, false
+	}
+	return m.snapshot(j), true
+}
+
+// List returns every job's status, sorted by id.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	js := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(js, func(a, b int) bool { return js[a].id < js[b].id })
+	out := make([]Status, len(js))
+	for i, j := range js {
+		out[i] = m.snapshot(j)
+	}
+	return out
+}
+
+// Result returns the completed job's result document. A job that exists but
+// has not completed yields an error naming its state.
+func (m *Manager) Result(id string) ([]byte, error) {
+	j, ok := m.get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if state != StateDone {
+		return nil, fmt.Errorf("jobs: job %s is %s, not done", id, state)
+	}
+	return j.camp.Result()
+}
+
+// Watch returns a channel closed on the job's next status change, for
+// event-stream endpoints: snapshot with Get, send, then wait on Watch.
+func (m *Manager) Watch(id string) (<-chan struct{}, bool) {
+	j, ok := m.get(id)
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.changed, true
+}
+
+// Counters returns the /v1/stats aggregate.
+func (m *Manager) Counters() Counters {
+	m.mu.Lock()
+	c := Counters{Submitted: m.submitted, Resumed: m.resumed, CellsCompleted: m.cells}
+	js := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	for _, j := range js {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			c.Queued++
+		case StateRunning:
+			c.Running++
+		case StateDone:
+			c.Done++
+		case StateFailed:
+			c.Failed++
+		case StateCancelled:
+			c.Cancelled++
+		}
+		j.mu.Unlock()
+	}
+	return c
+}
+
+func (m *Manager) get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// snapshot builds a Status under the job lock.
+func (m *Manager) snapshot(j *Job) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:            j.id,
+		Spec:          j.spec,
+		State:         j.state,
+		TotalCells:    j.prog.Total,
+		DoneCells:     j.prog.Done,
+		ReplayedCells: j.prog.Replayed,
+		Error:         j.errMsg,
+	}
+	if j.state == StateRunning && j.fresh > 0 && j.prog.Total > j.prog.Done {
+		elapsed := time.Since(j.started)
+		perCell := elapsed / time.Duration(j.fresh)
+		s.EtaMS = float64(time.Duration(j.prog.Total-j.prog.Done)*perCell) / float64(time.Millisecond)
+	}
+	return s
+}
+
+// newID draws a 64-bit random job id, hex-encoded.
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}

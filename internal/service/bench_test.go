@@ -38,7 +38,10 @@ func benchRequest(b *testing.B, h http.Handler, body string) {
 // miss on every iteration: decode, canonicalize, partition, allocate,
 // verify, encode.
 func BenchmarkServeAllocateCold(b *testing.B) {
-	s := New(Config{CacheSize: 1 << 20})
+	s, err := New(Config{CacheSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer s.Close()
 	h := s.Handler()
 	b.ReportAllocs()
@@ -50,7 +53,10 @@ func BenchmarkServeAllocateCold(b *testing.B) {
 // BenchmarkServeAllocateCacheHit measures the steady-state serving path:
 // the same request answered from the canonical-hash cache.
 func BenchmarkServeAllocateCacheHit(b *testing.B) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer s.Close()
 	h := s.Handler()
 	body := benchDoc(0)

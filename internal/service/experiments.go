@@ -1,0 +1,156 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"hydra/internal/experiments"
+	"hydra/internal/jobs"
+)
+
+// ExperimentRequest is the body of POST /v1/experiments: the experiment spec
+// name (see experiments.SpecNames: table1, fig1, fig2, fig3, ablation) plus
+// its JSON config (empty selects the paper's defaults). The campaign runs in
+// the background; the response is the queued job's status, led by its id.
+type ExperimentRequest struct {
+	Experiment string          `json:"experiment"`
+	Config     json.RawMessage `json:"config,omitempty"`
+}
+
+// ExperimentListResponse is the body of GET /v1/experiments.
+type ExperimentListResponse struct {
+	Experiments []string      `json:"experiments"` // runnable spec names
+	Jobs        []jobs.Status `json:"jobs"`        // every known job, by id
+}
+
+func (s *Server) handleExperimentSubmit(w http.ResponseWriter, r *http.Request) {
+	var req ExperimentRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if req.Experiment == "" {
+		writeError(w, http.StatusBadRequest, "experiment name required (one of: %v)", experiments.SpecNames())
+		return
+	}
+	// The caller's fault (unknown experiment) is a 400; everything Submit
+	// can fail with beyond that (jobs dir I/O, entropy) is the server's.
+	if _, err := experiments.ResolveSpec(req.Experiment); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, err := s.jobs.Submit(req.Experiment, req.Config)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ExperimentListResponse{
+		Experiments: experiments.SpecNames(),
+		Jobs:        s.jobs.List(),
+	})
+}
+
+func (s *Server) handleExperimentStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such experiment job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleExperimentResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such experiment job %q", id)
+		return
+	}
+	switch st.State {
+	case jobs.StateDone:
+	case jobs.StateFailed:
+		writeError(w, http.StatusInternalServerError, "experiment job %s failed: %s", id, st.Error)
+		return
+	default:
+		writeError(w, http.StatusConflict, "experiment job %s is %s; result not ready", id, st.State)
+		return
+	}
+	body, err := s.jobs.Result(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// The persisted result bytes verbatim: identical for resumed and
+	// uninterrupted campaigns, and for every repeat of this request.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleExperimentCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.jobs.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, "no such experiment job %q", r.PathValue("id"))
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleExperimentEvents streams job status snapshots as server-sent events:
+// one "status" event per state/progress change, closing after the terminal
+// snapshot. Consecutive changes may be coalesced into one event; the last
+// event always carries the job's final state.
+func (s *Server) handleExperimentEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.jobs.Get(id); !ok {
+		writeError(w, http.StatusNotFound, "no such experiment job %q", id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for {
+		// Grab the change channel BEFORE snapshotting so an update between
+		// snapshot and wait still wakes the loop.
+		changed, ok := s.jobs.Watch(id)
+		if !ok {
+			return
+		}
+		st, ok := s.jobs.Get(id)
+		if !ok {
+			return
+		}
+		body, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: status\ndata: %s\n\n", body); err != nil {
+			return
+		}
+		flusher.Flush()
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

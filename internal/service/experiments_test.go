@@ -1,0 +1,318 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hydra/internal/jobs"
+)
+
+func postJSON(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	return post(t, s, path, body)
+}
+
+func del(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodDelete, path, nil))
+	return w
+}
+
+// submitExperiment posts a campaign and returns its queued status.
+func submitExperiment(t *testing.T, s *Server, body string) jobs.Status {
+	t.Helper()
+	w := postJSON(t, s, "/v1/experiments", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", w.Code, w.Body)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatalf("submit returned no job id: %s", w.Body)
+	}
+	return st
+}
+
+// waitJob polls the status endpoint until the job reaches a terminal state.
+func waitJob(t *testing.T, s *Server, id string) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		w := get(t, s, "/v1/experiments/"+id)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status: %d: %s", w.Code, w.Body)
+		}
+		var st jobs.Status
+		if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job never finished")
+	return jobs.Status{}
+}
+
+func TestExperimentLifecycle(t *testing.T) {
+	s := newServer(t)
+	st := submitExperiment(t, s, `{"experiment": "fig2", "config": {"M": 2, "TasksetsPerPoint": 2, "UtilStepFrac": 0.25, "Seed": 7}}`)
+	final := waitJob(t, s, st.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("final state %s (error %q)", final.State, final.Error)
+	}
+	if final.TotalCells != 6 || final.DoneCells != 6 {
+		t.Fatalf("progress %+v, want 6/6 cells", final)
+	}
+
+	first := get(t, s, "/v1/experiments/"+st.ID+"/result")
+	if first.Code != http.StatusOK {
+		t.Fatalf("result: %d: %s", first.Code, first.Body)
+	}
+	var points []struct {
+		TotalUtil float64
+		Schemes   []string
+	}
+	if err := json.Unmarshal(first.Body.Bytes(), &points); err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 || points[0].Schemes[0] != "hydra" {
+		t.Fatalf("unexpected result: %s", first.Body)
+	}
+	// Result replays are byte-identical.
+	second := get(t, s, "/v1/experiments/"+st.ID+"/result")
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("repeated result request returned different bytes")
+	}
+
+	// The job shows up in the listing together with the spec catalogue.
+	var list ExperimentListResponse
+	if err := json.Unmarshal(get(t, s, "/v1/experiments").Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != st.ID {
+		t.Fatalf("listing: %+v", list.Jobs)
+	}
+	found := false
+	for _, n := range list.Experiments {
+		if n == "fig2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spec catalogue missing fig2: %v", list.Experiments)
+	}
+
+	// Job counters surface on /v1/stats.
+	var stats StatsResponse
+	if err := json.Unmarshal(get(t, s, "/v1/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs.Submitted != 1 || stats.Jobs.Done != 1 || stats.Jobs.CellsCompleted != 6 {
+		t.Fatalf("job stats: %+v", stats.Jobs)
+	}
+}
+
+func TestExperimentSubmitErrors(t *testing.T) {
+	s := newServer(t)
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{"experiment": "bogus"}`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{not json`, http.StatusBadRequest},
+		{`{"experiment": "fig2", "bogus": 1}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if w := postJSON(t, s, "/v1/experiments", tc.body); w.Code != tc.code {
+			t.Errorf("body %q: status %d, want %d (%s)", tc.body, w.Code, tc.code, w.Body)
+		}
+	}
+	// A syntactically valid config with unknown fields fails the job, not
+	// the submission.
+	st := submitExperiment(t, s, `{"experiment": "fig2", "config": {"Bogus": 1}}`)
+	final := waitJob(t, s, st.ID)
+	if final.State != jobs.StateFailed || final.Error == "" {
+		t.Fatalf("final %+v, want failed with error", final)
+	}
+	if w := get(t, s, "/v1/experiments/"+st.ID+"/result"); w.Code != http.StatusInternalServerError {
+		t.Fatalf("failed job result: status %d, want 500", w.Code)
+	}
+}
+
+func TestExperimentUnknownJob(t *testing.T) {
+	s := newServer(t)
+	for _, probe := range []func() *httptest.ResponseRecorder{
+		func() *httptest.ResponseRecorder { return get(t, s, "/v1/experiments/nope") },
+		func() *httptest.ResponseRecorder { return get(t, s, "/v1/experiments/nope/result") },
+		func() *httptest.ResponseRecorder { return get(t, s, "/v1/experiments/nope/events") },
+		func() *httptest.ResponseRecorder { return del(t, s, "/v1/experiments/nope") },
+	} {
+		if w := probe(); w.Code != http.StatusNotFound {
+			t.Errorf("status %d, want 404: %s", w.Code, w.Body)
+		}
+	}
+}
+
+func TestExperimentCancel(t *testing.T) {
+	s := newServer(t)
+	// A big fig2 grid: 39 levels x 250 draws won't finish before the cancel.
+	st := submitExperiment(t, s, `{"experiment": "fig2", "config": {"M": 2, "Seed": 1, "Workers": 1}}`)
+	w := del(t, s, "/v1/experiments/"+st.ID)
+	if w.Code != http.StatusOK {
+		t.Fatalf("cancel: %d: %s", w.Code, w.Body)
+	}
+	final := waitJob(t, s, st.ID)
+	if final.State != jobs.StateCancelled {
+		t.Fatalf("state %s, want cancelled", final.State)
+	}
+	if w := get(t, s, "/v1/experiments/"+st.ID+"/result"); w.Code != http.StatusConflict {
+		t.Fatalf("cancelled job result: status %d, want 409", w.Code)
+	}
+	// Cancelling again is a no-op.
+	if w := del(t, s, "/v1/experiments/"+st.ID); w.Code != http.StatusOK {
+		t.Fatalf("re-cancel: %d", w.Code)
+	}
+}
+
+// The SSE stream delivers status snapshots and terminates on the terminal
+// one.
+func TestExperimentEventsStream(t *testing.T) {
+	s := newServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st := submitExperiment(t, s, `{"experiment": "fig2", "config": {"M": 2, "TasksetsPerPoint": 4, "UtilStepFrac": 0.1, "Seed": 3}}`)
+	resp, err := http.Get(ts.URL + "/v1/experiments/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []jobs.Status
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev jobs.Status
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events received")
+	}
+	last := events[len(events)-1]
+	if last.State != jobs.StateDone || last.DoneCells != 36 {
+		t.Fatalf("terminal event %+v", last)
+	}
+	for _, ev := range events {
+		if ev.ID != st.ID {
+			t.Fatalf("event for wrong job: %+v", ev)
+		}
+	}
+}
+
+// Campaigns persisted in a jobs dir survive a server restart: an interrupted
+// job resumes and its result is byte-identical to an uninterrupted run.
+func TestExperimentSurvivesServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	// A big one-worker grid so the shutdown reliably lands mid-campaign;
+	// the reference runs at 8 workers, which by the engine's determinism
+	// guarantee must not change a byte of the result.
+	config := `{"experiment": "fig2", "config": {"M": 2, "TasksetsPerPoint": 400, "UtilStepFrac": 0.05, "Seed": 9, "Workers": 1}}`
+	reference := strings.Replace(config, `"Workers": 1`, `"Workers": 8`, 1)
+
+	// Uninterrupted reference run on a throwaway server.
+	ref := newServer(t)
+	refSt := submitExperiment(t, ref, reference)
+	if final := waitJob(t, ref, refSt.ID); final.State != jobs.StateDone {
+		t.Fatalf("reference run: %+v", final)
+	}
+	want := get(t, ref, "/v1/experiments/"+refSt.ID+"/result").Body.Bytes()
+
+	s1, err := New(Config{JobsDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := submitExperiment(t, s1, config)
+	// Wait until the campaign is well inside the grid (so the shutdown
+	// cannot race its completion), then kill the server.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var got jobs.Status
+		if err := json.Unmarshal(get(t, s1, "/v1/experiments/"+st.ID).Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.DoneCells >= 100 && got.DoneCells <= got.TotalCells/2 {
+			break
+		}
+		if got.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("campaign too fast or stuck to interrupt mid-grid: %+v", got)
+		}
+	}
+	s1.Close()
+
+	s2, err := New(Config{JobsDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.Close)
+	final := waitJob(t, s2, st.ID)
+	if final.State != jobs.StateDone || final.ReplayedCells < 100 {
+		t.Fatalf("resumed job: %+v", final)
+	}
+	got := get(t, s2, "/v1/experiments/"+st.ID+"/result")
+	if got.Code != http.StatusOK {
+		t.Fatalf("result: %d: %s", got.Code, got.Body)
+	}
+	if !bytes.Equal(got.Body.Bytes(), want) {
+		t.Fatal("resumed result differs from uninterrupted run")
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(get(t, s2, "/v1/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs.Resumed != 1 {
+		t.Fatalf("resumed counter: %+v", stats.Jobs)
+	}
+}
+
+// Sorted scheme listing pins stable diffs for clients and golden files.
+func TestSchemesSorted(t *testing.T) {
+	s := newServer(t)
+	var sr SchemesResponse
+	if err := json.Unmarshal(get(t, s, "/v1/schemes").Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sr.Schemes); i++ {
+		if sr.Schemes[i-1] >= sr.Schemes[i] {
+			t.Fatalf("schemes not sorted at %d: %v", i, sr.Schemes)
+		}
+	}
+	if len(sr.Schemes) == 0 {
+		t.Fatal("no schemes listed")
+	}
+}

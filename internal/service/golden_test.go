@@ -23,6 +23,11 @@ func TestGoldenResponses(t *testing.T) {
 	verifyBody := fmt.Sprintf(`{"taskset": %s, "result": %s}`, sampleTaskset, strings.TrimSpace(allocate.Body.String()))
 	batchBody := fmt.Sprintf(`{"workers": 2, "tasksets": [%s, %s]}`, sampleTaskset, sampleTasksetPermuted)
 
+	// Stats come from a fresh server so every counter is deterministically
+	// zero; schemes likewise (the listing includes this test binary's
+	// registered test allocators, which is fine — goldens pin the shape).
+	fresh := newServer(t)
+
 	cases := []struct {
 		name string
 		got  []byte
@@ -31,6 +36,8 @@ func TestGoldenResponses(t *testing.T) {
 		{"allocate_batch", post(t, s, "/v1/allocate/batch", batchBody).Body.Bytes()},
 		{"verify", post(t, s, "/v1/verify", verifyBody).Body.Bytes()},
 		{"simulate", post(t, s, "/v1/simulate", allocateBody(sampleTaskset, `"horizon_ms": 2000`)).Body.Bytes()},
+		{"schemes", get(t, fresh, "/v1/schemes").Body.Bytes()},
+		{"stats", get(t, fresh, "/v1/stats").Body.Bytes()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/engine"
 	"hydra/internal/experiments"
+	"hydra/internal/jobs"
 	"hydra/internal/partition"
 	"hydra/internal/sim"
 	"hydra/internal/tasksetio"
@@ -41,6 +42,13 @@ type Config struct {
 	// Workers is the default worker-pool width for batch requests that leave
 	// workers unset. Zero selects GOMAXPROCS.
 	Workers int
+	// JobsDir is the experiment-campaign checkpoint directory. Interrupted
+	// campaigns found there are resumed on startup. Empty selects a fresh
+	// temporary directory (campaigns then do not survive the process).
+	JobsDir string
+	// MaxJobs bounds concurrently running experiment campaigns; queued
+	// submissions wait for a slot. Zero or negative selects 2.
+	MaxJobs int
 }
 
 // Server implements the allocation service. Create with New; it is an
@@ -49,6 +57,7 @@ type Config struct {
 type Server struct {
 	cfg       Config
 	cache     *Cache
+	jobs      *jobs.Manager
 	cold      latencyRecorder // allocate latency when the allocation actually ran
 	hot       latencyRecorder // allocate latency when served from cache
 	coalesced latencyRecorder // allocate latency when waiting on an identical in-flight run
@@ -57,15 +66,22 @@ type Server struct {
 	cancel    context.CancelFunc
 }
 
-// New builds a Server with the given configuration.
-func New(cfg Config) *Server {
+// New builds a Server with the given configuration. It opens the jobs
+// directory and resumes any experiment campaigns interrupted by a previous
+// process.
+func New(cfg Config) (*Server, error) {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 1024
+	}
+	mgr, err := jobs.NewManager(cfg.JobsDir, cfg.MaxJobs)
+	if err != nil {
+		return nil, fmt.Errorf("service: open jobs dir: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:    cfg,
 		cache:  NewCache(cfg.CacheSize),
+		jobs:   mgr,
 		mux:    http.NewServeMux(),
 		ctx:    ctx,
 		cancel: cancel,
@@ -74,21 +90,35 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/allocate/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/experiments", s.handleExperimentSubmit)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperimentStatus)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/result", s.handleExperimentResult)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleExperimentEvents)
+	s.mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleExperimentCancel)
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler serving the API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close cancels the server's base context: in-flight batch runs observe the
-// cancellation between grid cells and return promptly. Safe to call more
-// than once.
-func (s *Server) Close() { s.cancel() }
+// JobsDir returns the experiment-campaign checkpoint directory.
+func (s *Server) JobsDir() string { return s.jobs.Dir() }
+
+// Close cancels the server's base context — in-flight batch runs observe the
+// cancellation between grid cells and return promptly — then stops the job
+// manager, which interrupts running campaigns between cells and waits for
+// their checkpoints to settle (they resume on the next start). Safe to call
+// more than once.
+func (s *Server) Close() {
+	s.cancel()
+	s.jobs.Close()
+}
 
 // requestContext derives a context cancelled when either the client goes
 // away or the server is shut down.
@@ -189,6 +219,7 @@ type AllocateLatency struct {
 type StatsResponse struct {
 	Cache    CacheStats      `json:"cache"`
 	Allocate AllocateLatency `json:"allocate_latency"`
+	Jobs     jobs.Counters   `json:"jobs"`
 }
 
 // errorResponse is the uniform error body.
@@ -205,7 +236,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	w.Write(body)
+	_, _ = w.Write(body)
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -314,7 +345,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "MISS")
 	}
 	w.WriteHeader(status)
-	w.Write(body)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -488,5 +519,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Hit:       s.hot.snapshot(),
 			Coalesced: s.coalesced.snapshot(),
 		},
+		Jobs: s.jobs.Counters(),
 	})
 }

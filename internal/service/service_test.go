@@ -75,7 +75,10 @@ func TestMain(m *testing.M) {
 
 func newServer(t *testing.T) *Server {
 	t.Helper()
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	return s
 }
@@ -287,7 +290,10 @@ func TestBatchOrderedAndDeterministic(t *testing.T) {
 }
 
 func TestBatchCancelledByServerClose(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	docs := batchTasksets(100)
 	body := fmt.Sprintf(`{"scheme": "test-slow", "workers": 1, "tasksets": [%s]}`, strings.Join(docs, ","))
 	done := make(chan *httptest.ResponseRecorder, 1)

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -94,6 +95,28 @@ func (e *ECDF) Series(hi float64, n int) [][2]float64 {
 		out = append(out, [2]float64{x, e.Eval(x)})
 	}
 	return out
+}
+
+// MarshalJSON encodes the ECDF as its sorted sample array, so results that
+// embed an ECDF (Fig. 1 rows, campaign checkpoints) round-trip through JSON
+// without loss.
+func (e *ECDF) MarshalJSON() ([]byte, error) {
+	samples := e.sorted
+	if samples == nil {
+		samples = []float64{}
+	}
+	return json.Marshal(samples)
+}
+
+// UnmarshalJSON decodes a sample array produced by MarshalJSON.
+func (e *ECDF) UnmarshalJSON(data []byte) error {
+	var samples []float64
+	if err := json.Unmarshal(data, &samples); err != nil {
+		return err
+	}
+	sort.Float64s(samples) // already sorted when written by MarshalJSON
+	e.sorted = samples
+	return nil
 }
 
 // Summary holds basic descriptive statistics.
