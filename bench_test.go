@@ -126,6 +126,45 @@ func BenchmarkHydraAllocation(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocatorHotPath measures the end-to-end allocation hot path per
+// scheme: RT partitioning with incremental-RTA admission, allocation on a
+// fresh Input (so per-Input caches are rebuilt, as a cold serving request
+// would), and linear verification — the work a cold /v1/allocate performs
+// behind the JSON/HTTP layers. Tracked by the benchjson -compare CI gate so
+// the incremental schedulability-state speedup stays locked in.
+func BenchmarkAllocatorHotPath(b *testing.B) {
+	rng := stats.SplitRNG(41, 0)
+	w, err := taskgen.Generate(taskgen.DefaultParams(4, 2.4), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scheme := range []string{"hydra", "hydra-least-loaded", "hydra-np", "singlecore", "partition-best-fit"} {
+		alloc := core.MustLookup(scheme)
+		b.Run(scheme, func(b *testing.B) {
+			b.ReportAllocs()
+			accepted := 0
+			for i := 0; i < b.N; i++ {
+				part, err := partition.PartitionRT(w.RT, 4, partition.BestFit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				in, err := core.NewInput(4, w.RT, part.CoreOf, w.Sec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := alloc.Allocate(in)
+				if r.Schedulable {
+					accepted++
+					if err := core.Verify(in, r); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(accepted)/float64(b.N), "accept_ratio")
+		})
+	}
+}
+
 // BenchmarkAblationPeriodAdaptation compares the closed form against the
 // GP-solver route for the same period-adaptation subproblem — the ablation
 // for the paper's Appendix reformulation.

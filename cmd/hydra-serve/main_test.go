@@ -280,11 +280,13 @@ func fetchResult(t *testing.T, base, id string) []byte {
 // next server start and emits a result byte-identical to an uninterrupted
 // run.
 func TestSigintInterruptsAndCampaignResumesOnRestart(t *testing.T) {
-	// 19 levels x 400 draws = 7600 cells: big enough to interrupt reliably
-	// at one worker. The reference runs the same grid at 8 workers — the
+	// 19 levels x 800 draws = 15200 cells: the incremental-RTA allocation
+	// path made each cell ~2x cheaper, so the grid grew 2x over PR 3's 7600
+	// cells to keep the same wall-clock margin for interrupting mid-run at
+	// one worker. The reference runs the same grid at 8 workers — the
 	// engine's determinism guarantee makes the results byte-identical
 	// anyway, so the comparison also re-proves worker-count independence.
-	campaign := `{"experiment": "fig2", "config": {"M": 2, "TasksetsPerPoint": 400, "UtilStepFrac": 0.05, "Seed": 9, "Workers": 1}}`
+	campaign := `{"experiment": "fig2", "config": {"M": 2, "TasksetsPerPoint": 800, "UtilStepFrac": 0.05, "Seed": 9, "Workers": 1}}`
 	reference := strings.Replace(campaign, `"Workers": 1`, `"Workers": 8`, 1)
 
 	// Uninterrupted reference run (sequential: SIGINT is process-wide, so

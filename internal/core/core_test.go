@@ -540,3 +540,40 @@ func TestSchemesSoundProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression for the LeastLoaded tie-break floor: bestScore starts at
+// math.Inf(-1), not a finite sentinel like -1.0, because the least-loaded
+// score 1 - SumU is only bounded below by the analysis that decides
+// feasibility — with a finite floor, a feasible core scoring at or below it
+// could never be selected even when it is the only feasible one. The paper's
+// closed-form adaptation keeps feasible cores under SumU < 1, so this pins
+// the nearest observable behavior: the sole feasible core is selected however
+// small its score, and every policy agrees on sole-feasible instances.
+func TestLeastLoadedSelectsSoleFeasibleCore(t *testing.T) {
+	// Core 0 is nearly saturated by real-time work (U = 0.98): no adapted
+	// period can absorb the security task there. Core 1 is heavily loaded
+	// too (U = 0.9, score 1-SumU barely above zero after commitment) but
+	// feasible.
+	// TMax = 2000 rules core 0 out (its min feasible period is (2+98)/0.02 =
+	// 5000) while core 1 stays feasible ((2+90)/0.1 = 920).
+	sec := []rts.SecurityTask{
+		{Name: "s1", C: 2, TDes: 100, TMax: 2000},
+		{Name: "s2", C: 2, TDes: 120, TMax: 2000},
+	}
+	in := twoCoreInput(t, 0.98, 0.9, sec)
+	for _, p := range []Policy{BestTightness, FirstFeasible, LeastLoaded} {
+		r := Hydra(in, HydraOptions{Policy: p})
+		if !r.Schedulable {
+			t.Fatalf("policy %v: sole-feasible-core workload rejected: %s", p, r.Reason)
+		}
+		for i, c := range r.Assignment {
+			if c != 1 {
+				t.Fatalf("policy %v: task %d on core %d, want the sole feasible core 1", p, i, c)
+			}
+		}
+	}
+	ext := HydraExt(in, ExtOptions{HydraOptions: HydraOptions{Policy: LeastLoaded}})
+	if !ext.Schedulable || ext.Assignment[0] != 1 || ext.Assignment[1] != 1 {
+		t.Fatalf("hydra-ext least-loaded: %+v", ext)
+	}
+}

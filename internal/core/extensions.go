@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"hydra/internal/rts"
 )
@@ -61,7 +62,10 @@ func HydraExt(in *Input, opt ExtOptions) *Result {
 		}
 	}
 
-	loads := in.RTLoads()
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	sc.loads = in.copyRTLoads(sc.loads)
+	loads := sc.loads
 	assign := make([]int, len(in.Sec))
 	periods := make([]rts.Time, len(in.Sec))
 	for i := range assign {
@@ -90,7 +94,9 @@ func HydraExt(in *Input, opt ExtOptions) *Result {
 		adjusted := s
 		adjusted.TDes = minPeriod
 
-		bestCore, bestPeriod, bestScore := -1, rts.Time(0), -1.0
+		// math.Inf(-1), not a finite floor: LeastLoaded's 1 - SumU score can
+		// go negative on a loaded core (see the same fix in Hydra).
+		bestCore, bestPeriod, bestScore := -1, rts.Time(0), math.Inf(-1)
 		for _, c := range cores {
 			ts, ok := PeriodAdaptation(adjusted, loads[c])
 			if !ok {

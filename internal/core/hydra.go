@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"hydra/internal/rts"
 )
@@ -56,7 +57,10 @@ func Hydra(in *Input, opt HydraOptions) *Result {
 	if err := in.Validate(); err != nil {
 		return newInfeasible("hydra", err.Error())
 	}
-	loads := in.RTLoads() // mutated as security tasks are committed
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	sc.loads = in.copyRTLoads(sc.loads)
+	loads := sc.loads // mutated as security tasks are committed
 	assign := make([]int, len(in.Sec))
 	periods := make([]rts.Time, len(in.Sec))
 
@@ -69,7 +73,11 @@ func Hydra(in *Input, opt HydraOptions) *Result {
 		s := in.Sec[i]
 		bestCore := -1
 		var bestPeriod rts.Time
-		bestScore := -1.0
+		// Start below any achievable score: LeastLoaded scores 1 - SumU,
+		// which can go negative on a loaded core, and a stale finite floor
+		// would make such a core unselectable even when it is the only
+		// feasible one.
+		bestScore := math.Inf(-1)
 		for c := 0; c < in.M; c++ {
 			ts, ok := adapt(s, loads[c])
 			if !ok {

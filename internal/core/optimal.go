@@ -42,7 +42,7 @@ func Optimal(in *Input, opt OptimalOptions) *Result {
 	}
 
 	order := in.secOrder()
-	rtLoads := in.RTLoads()
+	rtLoads := in.sharedRTLoads() // read-only: evalAssignment copies per-core values
 
 	best := (*Result)(nil)
 	assign := make([]int, ns) // per-priority-rank core choice

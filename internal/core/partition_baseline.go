@@ -23,7 +23,10 @@ func PartitionBaseline(in *Input, h partition.Heuristic) *Result {
 	if err := in.Validate(); err != nil {
 		return newInfeasible(scheme, err.Error())
 	}
-	loads := in.RTLoads()
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	sc.loads = in.copyRTLoads(sc.loads)
+	loads := sc.loads
 	assign := make([]int, len(in.Sec))
 	periods := make([]rts.Time, len(in.Sec))
 	next := 0 // next-fit cursor

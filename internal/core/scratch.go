@@ -1,0 +1,35 @@
+package core
+
+import (
+	"sync"
+
+	"hydra/internal/rts"
+)
+
+// allocScratch is the pooled working memory of the allocation and
+// verification hot paths: the mutable per-core load vectors the schemes
+// commit security tasks into. Pooling keeps the steady-state serving and
+// sweep paths free of per-call slice churn; result slices (assignments,
+// periods, tightness) still allocate, since they escape into the Result.
+type allocScratch struct {
+	loads     []rts.CoreLoad
+	committed []rts.CoreLoad
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(allocScratch) }}
+
+func acquireScratch() *allocScratch  { return scratchPool.Get().(*allocScratch) }
+func releaseScratch(s *allocScratch) { scratchPool.Put(s) }
+
+// zeroLoads returns a zeroed m-length CoreLoad slice backed by buf when it
+// is large enough.
+func zeroLoads(buf []rts.CoreLoad, m int) []rts.CoreLoad {
+	if cap(buf) < m {
+		buf = make([]rts.CoreLoad, m)
+	}
+	buf = buf[:m]
+	for i := range buf {
+		buf[i] = rts.CoreLoad{}
+	}
+	return buf
+}

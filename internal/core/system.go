@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hydra/internal/partition"
 	"hydra/internal/rts"
@@ -22,11 +23,25 @@ import (
 // Input is a fully specified allocation problem: a platform of M cores, the
 // real-time tasks with their (given, immutable) partition, and the security
 // tasks to place.
+//
+// An Input lazily caches analysis state derived purely from its fields (the
+// per-core load aggregates and the security priority order), so the several
+// schemes and verification passes an experiment cell or serving request runs
+// against the same problem derive them once instead of re-sorting and
+// re-folding per call. The fields must therefore not be mutated once any
+// scheme has run; build a new Input instead.
 type Input struct {
 	M           int
 	RT          []rts.RTTask
 	RTPartition []int // RTPartition[i] is the core of RT[i]
 	Sec         []rts.SecurityTask
+
+	loadsOnce sync.Once
+	loads     []rts.CoreLoad // cached RTLoads, read-only after loadsOnce
+	orderOnce sync.Once
+	order     []int // cached secOrder, read-only after orderOnce
+	validOnce sync.Once
+	validErr  error // cached Validate verdict
 }
 
 // NewInput bundles and validates an allocation problem.
@@ -38,8 +53,15 @@ func NewInput(m int, rt []rts.RTTask, part []int, sec []rts.SecurityTask) (*Inpu
 	return in, nil
 }
 
-// Validate checks structural consistency of the input.
+// Validate checks structural consistency of the input. The verdict is
+// cached: every scheme an experiment cell or serving request runs against
+// the same Input re-checks it, and the fields are immutable once in use.
 func (in *Input) Validate() error {
+	in.validOnce.Do(func() { in.validErr = in.validate() })
+	return in.validErr
+}
+
+func (in *Input) validate() error {
 	if in.M <= 0 {
 		return fmt.Errorf("core: need at least one core, got %d", in.M)
 	}
@@ -54,33 +76,63 @@ func (in *Input) Validate() error {
 	return rts.ValidateAll(in.RT, in.Sec)
 }
 
-// RTLoads returns the Eq. 5 aggregates of the real-time tasks per core.
-func (in *Input) RTLoads() []rts.CoreLoad {
-	loads := make([]rts.CoreLoad, in.M)
-	for i, c := range in.RTPartition {
-		loads[c].AddRT(in.RT[i])
+// sharedRTLoads returns the cached Eq. 5 aggregates of the real-time tasks
+// per core. The returned slice is shared and must not be mutated; callers
+// that commit security load on top of it copy first (see copyRTLoads).
+func (in *Input) sharedRTLoads() []rts.CoreLoad {
+	in.loadsOnce.Do(func() {
+		loads := make([]rts.CoreLoad, in.M)
+		for i, c := range in.RTPartition {
+			loads[c].AddRT(in.RT[i])
+		}
+		in.loads = loads
+	})
+	return in.loads
+}
+
+// copyRTLoads copies the cached per-core aggregates into dst (grown as
+// needed) and returns it — the mutable working set of the allocation loops.
+func (in *Input) copyRTLoads(dst []rts.CoreLoad) []rts.CoreLoad {
+	shared := in.sharedRTLoads()
+	if cap(dst) < len(shared) {
+		dst = make([]rts.CoreLoad, len(shared))
 	}
-	return loads
+	dst = dst[:len(shared)]
+	copy(dst, shared)
+	return dst
+}
+
+// RTLoads returns the Eq. 5 aggregates of the real-time tasks per core. The
+// returned slice is the caller's to mutate.
+func (in *Input) RTLoads() []rts.CoreLoad {
+	return in.copyRTLoads(nil)
 }
 
 // secOrder returns security task indices sorted from highest to lowest
-// priority (ascending TMax, ties by name then index — Sec. II-C).
+// priority (ascending TMax, ties by name then index — Sec. II-C). The
+// returned slice is cached and shared: callers must treat it as read-only.
 func (in *Input) secOrder() []int {
-	order := make([]int, len(in.Sec))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		sa, sb := in.Sec[order[a]], in.Sec[order[b]]
-		if sa.TMax != sb.TMax {
-			return sa.TMax < sb.TMax
+	in.orderOnce.Do(func() {
+		if in.order != nil {
+			return // pre-seeded (EffectiveInput shares the parent's order)
 		}
-		if sa.Name != sb.Name {
-			return sa.Name < sb.Name
+		order := make([]int, len(in.Sec))
+		for i := range order {
+			order[i] = i
 		}
-		return order[a] < order[b]
+		sort.SliceStable(order, func(a, b int) bool {
+			sa, sb := in.Sec[order[a]], in.Sec[order[b]]
+			if sa.TMax != sb.TMax {
+				return sa.TMax < sb.TMax
+			}
+			if sa.Name != sb.Name {
+				return sa.Name < sb.Name
+			}
+			return order[a] < order[b]
+		})
+		in.order = order
 	})
-	return order
+	return in.order
 }
 
 // Result is the outcome of an allocation scheme. All slices are indexed by
@@ -132,7 +184,13 @@ func EffectiveInput(in *Input, r *Result) *Input {
 	if r == nil || len(r.RTPartition) != len(in.RT) {
 		return in
 	}
-	return &Input{M: in.M, RT: in.RT, RTPartition: r.RTPartition, Sec: in.Sec}
+	out := &Input{M: in.M, RT: in.RT, RTPartition: r.RTPartition, Sec: in.Sec}
+	// The security priority order depends only on Sec, which is unchanged:
+	// seed it from the parent before out escapes, so verifying a
+	// self-partitioning result does not re-sort per call. The load and
+	// validation caches depend on the substituted partition and stay lazy.
+	out.order = in.secOrder()
+	return out
 }
 
 // Verify checks that a schedulable result satisfies every model constraint:
@@ -158,11 +216,14 @@ func Verify(in *Input, r *Result) error {
 			return fmt.Errorf("core: task %q period %g outside [%g, %g]", s.Name, r.Periods[i], s.TDes, s.TMax)
 		}
 	}
-	loads := in.RTLoads()
+	loads := in.sharedRTLoads() // read-only; per-core copies taken below
 	order := in.secOrder()
 	// Walk in priority order, checking each task against the interference of
 	// real-time tasks plus already-walked (higher-priority) security tasks.
-	committed := make([]rts.CoreLoad, in.M)
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	sc.committed = zeroLoads(sc.committed, in.M)
+	committed := sc.committed
 	for _, i := range order {
 		s := in.Sec[i]
 		c := r.Assignment[i]

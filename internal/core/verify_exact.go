@@ -16,6 +16,11 @@ import (
 // does not hold (the exact test admits more). The function exists both as a
 // defence-in-depth check and to quantify the pessimism of the paper's
 // analysis.
+//
+// The per-core interferer lists live in a pooled rts.AnalysisState (seeded
+// in RT-partition order, security tasks committed in priority order — the
+// same interference summation order as the historical slice-building code),
+// so repeated verification allocates nothing in steady state.
 func VerifyExact(in *Input, r *Result) error {
 	in = EffectiveInput(in, r)
 	if !r.Schedulable {
@@ -24,10 +29,10 @@ func VerifyExact(in *Input, r *Result) error {
 	if len(r.Assignment) != len(in.Sec) || len(r.Periods) != len(in.Sec) {
 		return fmt.Errorf("core: result covers %d/%d tasks, want %d", len(r.Assignment), len(r.Periods), len(in.Sec))
 	}
-	// Interferer lists per core, seeded with the real-time tasks.
-	perCore := make([][]rts.InterferingTask, in.M)
+	st := rts.AcquireAnalysisState(in.M)
+	defer rts.ReleaseAnalysisState(st)
 	for i, c := range in.RTPartition {
-		perCore[c] = append(perCore[c], rts.InterferingTask{C: in.RT[i].C, T: in.RT[i].T})
+		st.SeedRT(c, in.RT[i])
 	}
 	for _, i := range in.secOrder() {
 		s := in.Sec[i]
@@ -36,11 +41,16 @@ func VerifyExact(in *Input, r *Result) error {
 			return fmt.Errorf("core: task %q on invalid core %d", s.Name, c)
 		}
 		ts := r.Periods[i]
-		resp, ok := rts.ExactSecurityResponseTime(s.C, ts, perCore[c])
+		resp, ok, converged := st.SecurityResponseTime(c, s.C, ts)
 		if !ok {
+			if !converged {
+				// Not a proven miss: the fixed point was not reached within
+				// the iteration budget. Conservatively reject, but say so.
+				return fmt.Errorf("core: task %q: exact RTA did not converge on core %d (R >= %g, T=%g); treating as unschedulable", s.Name, c, resp, ts)
+			}
 			return fmt.Errorf("core: task %q misses its adapted deadline on core %d: R=%g > T=%g", s.Name, c, resp, ts)
 		}
-		perCore[c] = append(perCore[c], rts.InterferingTask{C: s.C, T: ts})
+		st.CommitSecurity(c, s.C, ts)
 	}
 	return nil
 }
@@ -54,22 +64,26 @@ func AnalysisPessimism(in *Input, r *Result) ([]float64, error) {
 	if !r.Schedulable {
 		return nil, fmt.Errorf("core: cannot analyse an unschedulable result")
 	}
-	perCore := make([][]rts.InterferingTask, in.M)
+	st := rts.AcquireAnalysisState(in.M)
+	defer rts.ReleaseAnalysisState(st)
 	for i, c := range in.RTPartition {
-		perCore[c] = append(perCore[c], rts.InterferingTask{C: in.RT[i].C, T: in.RT[i].T})
+		st.SeedRT(c, in.RT[i])
 	}
 	out := make([]float64, len(in.Sec))
 	for _, i := range in.secOrder() {
 		s := in.Sec[i]
 		c := r.Assignment[i]
 		ts := r.Periods[i]
-		linear := rts.LinearSecurityResponseBound(s.C, ts, perCore[c])
-		exact, ok := rts.ExactSecurityResponseTime(s.C, ts, perCore[c])
+		linear := st.LinearSecurityBound(c, s.C, ts)
+		exact, ok, converged := st.SecurityResponseTime(c, s.C, ts)
 		if !ok || exact <= 0 {
+			if !converged {
+				return nil, fmt.Errorf("core: task %q: exact RTA did not converge (response time >= %g)", s.Name, exact)
+			}
 			return nil, fmt.Errorf("core: task %q fails the exact analysis", s.Name)
 		}
 		out[i] = linear / exact
-		perCore[c] = append(perCore[c], rts.InterferingTask{C: s.C, T: ts})
+		st.CommitSecurity(c, s.C, ts)
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -124,5 +125,39 @@ func TestExactSecurityRTAKnownValues(t *testing.T) {
 	// Saturation: interferer with utilization 1 never converges.
 	if _, ok := rts.ExactSecurityResponseTime(2, 1e6, []rts.InterferingTask{{C: 4, T: 4}}); ok {
 		t.Fatal("saturated interference must fail")
+	}
+}
+
+// TestVerifyExactReportsNonConvergence pins the divergence-contract fix in
+// VerifyExact: when the exact security RTA blows its iteration budget while
+// still below the period, the error must name non-convergence instead of
+// claiming a proven miss with R > T (the last iterate is below T).
+func TestVerifyExactReportsNonConvergence(t *testing.T) {
+	// One RT interferer with utilization within 1e-4 of 1: the security
+	// task's fixed point ~ (1.5+1)/1e-4 is approached in ~unit steps, far
+	// beyond MaxRTAIterations, while the adapted period 20000 is never
+	// exceeded along the way.
+	rt := []rts.RTTask{rts.NewRTTask("creep", 1, 1.0001)}
+	sec := []rts.SecurityTask{{Name: "s", C: 1.5, TDes: 10, TMax: 30000}}
+	in := &Input{M: 1, RT: rt, RTPartition: []int{0}, Sec: sec}
+	res := &Result{
+		Schedulable: true,
+		Scheme:      "test",
+		Assignment:  []int{0},
+		Periods:     []rts.Time{20000},
+		Tightness:   []float64{10.0 / 20000},
+	}
+	err := VerifyExact(in, res)
+	if err == nil {
+		t.Fatal("non-convergent RTA must be conservatively rejected")
+	}
+	if !strings.Contains(err.Error(), "did not converge") {
+		t.Fatalf("divergence misreported: %v", err)
+	}
+	if strings.Contains(err.Error(), "misses its adapted deadline") {
+		t.Fatalf("divergence reported as a proven miss: %v", err)
+	}
+	if _, aerr := AnalysisPessimism(in, res); aerr == nil || !strings.Contains(aerr.Error(), "did not converge") {
+		t.Fatalf("AnalysisPessimism divergence report: %v", aerr)
 	}
 }

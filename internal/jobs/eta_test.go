@@ -1,0 +1,126 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden status files")
+
+// TestJustSubmittedStatusGolden pins the status JSON of a campaign that has
+// not completed a single cell: the throughput ETA has no data yet, so eta_ms
+// must be absent — not 0/0 or x/0 leaked as Inf/NaN (which encoding/json
+// refuses to marshal at all, turning a status poll into a 500).
+func TestJustSubmittedStatusGolden(t *testing.T) {
+	m, err := NewManager(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Occupy the only run slot so the next submission deterministically
+	// stays queued with zero progress.
+	blocker, err := m.Submit("test-slow-spec", json.RawMessage(`{"Cells": 200, "DelayMS": 50, "Workers": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := m.Get(blocker.ID)
+		if ok && st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker never started running: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	st, err := m.Submit("test-slow-spec", json.RawMessage(`{"Cells": 4, "DelayMS": 1, "Workers": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		t.Fatalf("a just-submitted status must marshal cleanly: %v", err)
+	}
+	// The random job id is the only nondeterministic field.
+	body = bytes.Replace(body, []byte(st.ID), []byte("JOBID"), 1)
+
+	path := filepath.Join("testdata", "status_just_submitted.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(append(body, '\n'), want) {
+		t.Fatalf("status drifted from golden %s:\ngot:\n%s\nwant:\n%s", path, body, want)
+	}
+	for _, forbidden := range []string{"eta_ms", "Inf", "NaN", "null"} {
+		if strings.Contains(string(body), forbidden) {
+			t.Fatalf("just-submitted status contains %q:\n%s", forbidden, body)
+		}
+	}
+}
+
+// TestEtaGuards white-boxes snapshot's division guards: no ETA without fresh
+// cells, without a start timestamp, or on a finished grid — and a genuine
+// throughput sample yields a finite positive ETA.
+func TestEtaGuards(t *testing.T) {
+	m := &Manager{}
+	cases := []struct {
+		name    string
+		job     func() *Job
+		wantEta bool
+	}{
+		{"queued zero progress", func() *Job {
+			return &Job{state: StateQueued, prog: Progress{Total: 10}}
+		}, false},
+		{"running zero fresh cells", func() *Job {
+			return &Job{state: StateRunning, prog: Progress{Total: 10, Done: 4, Replayed: 4}, started: time.Now()}
+		}, false},
+		{"running unset start time", func() *Job {
+			return &Job{state: StateRunning, prog: Progress{Total: 10, Done: 4}, fresh: 4}
+		}, false},
+		{"running all cells done", func() *Job {
+			return &Job{state: StateRunning, prog: Progress{Total: 10, Done: 10}, fresh: 10, started: time.Now().Add(-time.Second)}
+		}, false},
+		{"running with throughput", func() *Job {
+			return &Job{state: StateRunning, prog: Progress{Total: 10, Done: 4}, fresh: 4, started: time.Now().Add(-time.Second)}
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := tc.job()
+			j.changed = make(chan struct{})
+			st := m.snapshot(j)
+			if gotEta := st.EtaMS != 0; gotEta != tc.wantEta {
+				t.Fatalf("EtaMS = %g, want eta present=%v", st.EtaMS, tc.wantEta)
+			}
+			body, err := json.Marshal(st)
+			if err != nil {
+				t.Fatalf("status must marshal: %v", err)
+			}
+			if s := string(body); strings.Contains(s, "Inf") || strings.Contains(s, "NaN") {
+				t.Fatalf("status leaks a non-finite number: %s", s)
+			}
+			if tc.wantEta && (st.EtaMS < 0 || st.EtaMS > float64(time.Hour/time.Millisecond)) {
+				t.Fatalf("implausible ETA %g ms", st.EtaMS)
+			}
+		})
+	}
+}

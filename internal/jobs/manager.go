@@ -380,10 +380,17 @@ func (m *Manager) snapshot(j *Job) Status {
 		ReplayedCells: j.prog.Replayed,
 		Error:         j.errMsg,
 	}
-	if j.state == StateRunning && j.fresh > 0 && j.prog.Total > j.prog.Done {
-		elapsed := time.Since(j.started)
-		perCell := elapsed / time.Duration(j.fresh)
-		s.EtaMS = float64(time.Duration(j.prog.Total-j.prog.Done)*perCell) / float64(time.Millisecond)
+	// Throughput-based ETA: remaining cells / (fresh cells per elapsed time).
+	// Guard every denominator — a just-submitted or just-resumed campaign has
+	// zero fresh cells and/or zero elapsed time, and an unguarded division
+	// would leak Inf/NaN into the status JSON (which encoding/json cannot
+	// even marshal). EtaMS stays 0 (omitted) until the first fresh cell
+	// completes after a measurable interval.
+	if j.state == StateRunning && j.prog.Total > j.prog.Done && j.fresh > 0 && !j.started.IsZero() {
+		if elapsed := time.Since(j.started); elapsed > 0 {
+			perCell := elapsed / time.Duration(j.fresh)
+			s.EtaMS = float64(time.Duration(j.prog.Total-j.prog.Done)*perCell) / float64(time.Millisecond)
+		}
 	}
 	return s
 }

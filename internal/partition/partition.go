@@ -106,6 +106,14 @@ func (p *Partition) Utilizations(tasks []rts.RTTask) []float64 {
 // standard companion ordering for these heuristics) and each placement is
 // admitted only if the destination core remains schedulable under exact RTA.
 // The returned partition indexes tasks in their *input* order.
+//
+// Admission runs on a pooled rts.AnalysisState: each core's RM-sorted task
+// set is maintained incrementally across placements and every admission
+// trial re-analyzes only the incoming task plus the tasks it would preempt,
+// warm-starting their RTA fixed points from the memoized response times —
+// instead of re-sorting and re-iterating the whole core from scratch per
+// candidate. Placements and verdicts are identical to the historical
+// cold-start implementation.
 func PartitionRT(tasks []rts.RTTask, m int, h Heuristic) (*Partition, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("partition: need at least one core, got %d", m)
@@ -122,15 +130,15 @@ func PartitionRT(tasks []rts.RTTask, m int, h Heuristic) (*Partition, error) {
 	// Decreasing utilization; ties by input index for determinism.
 	sortByUtilDesc(order, tasks)
 
-	perCore := make([][]rts.RTTask, m)
-	util := make([]float64, m)
+	st := rts.AcquireAnalysisState(m)
+	defer rts.ReleaseAnalysisState(st)
 	coreOf := make([]int, len(tasks))
 	next := 0 // NextFit cursor
 	for _, ti := range order {
 		task := tasks[ti]
 		chosen, err := ChooseCore(h, m,
-			func(c int) bool { return admits(perCore[c], task) },
-			func(c int) float64 { return util[c] },
+			func(c int) bool { return st.TryAddRT(c, task) },
+			st.RTUtil,
 			&next)
 		if err != nil {
 			return nil, err
@@ -139,8 +147,7 @@ func PartitionRT(tasks []rts.RTTask, m int, h Heuristic) (*Partition, error) {
 			return nil, fmt.Errorf("%w: task %q (U=%.3f) on %d cores with %v",
 				ErrUnschedulable, task.Name, task.Utilization(), m, h)
 		}
-		perCore[chosen] = append(perCore[chosen], task)
-		util[chosen] += task.Utilization()
+		st.AddRT(chosen, task)
 		coreOf[ti] = chosen
 	}
 	return &Partition{M: m, CoreOf: coreOf}, nil
@@ -192,14 +199,6 @@ func ChooseCore(h Heuristic, m int, admits func(int) bool, util func(int) float6
 		return -1, fmt.Errorf("partition: unknown heuristic %v", h)
 	}
 	return chosen, nil
-}
-
-// admits reports whether adding task to the core keeps it RTA-schedulable.
-func admits(core []rts.RTTask, task rts.RTTask) bool {
-	trial := make([]rts.RTTask, 0, len(core)+1)
-	trial = append(trial, core...)
-	trial = append(trial, task)
-	return rts.CoreSchedulable(trial)
 }
 
 // sortByUtilDesc sorts the index slice by decreasing task utilization,

@@ -62,29 +62,43 @@ func gcd(a, b uint64) uint64 {
 //
 // which bounds how far job interactions reach. ok is false if the taskset
 // over-utilizes the core (the busy period diverges) or the fixed point does
-// not settle within the iteration budget.
+// not settle within the iteration budget; callers that need to tell those
+// two apart use BusyPeriodFull.
 func BusyPeriod(tasks []RTTask) (Time, bool) {
+	l, ok, _ := BusyPeriodFull(tasks)
+	return l, ok
+}
+
+// BusyPeriodFull is BusyPeriod with the explicit divergence contract of
+// ResponseTimeFull:
+//
+//   - ok && converged: l is the exact busy-period length;
+//   - !ok && converged: the taskset provably over-utilizes the core
+//     (utilization > 1), so the synchronous busy period diverges;
+//   - !ok && !converged: the iteration hit MaxRTAIterations before settling.
+//     The true busy period is unknown but >= l; treating the bound as
+//     unavailable is conservative.
+func BusyPeriodFull(tasks []RTTask) (l Time, ok, converged bool) {
 	if len(tasks) == 0 {
-		return 0, true
+		return 0, true, true
 	}
 	if TotalRTUtilization(tasks) > 1 {
-		return 0, false
+		return 0, false, true
 	}
-	var l Time
 	for _, t := range tasks {
 		l += t.C
 	}
-	for iter := 0; iter < 100000; iter++ {
+	for iter := 0; iter < MaxRTAIterations; iter++ {
 		var next Time
 		for _, t := range tasks {
 			next += math.Ceil(l/t.T) * t.C
 		}
 		if next == l {
-			return l, true
+			return l, true, true
 		}
 		l = next
 	}
-	return l, false
+	return l, false, false
 }
 
 // ResponseTimeWithJitterBlocking extends the exact RTA with release jitter
@@ -100,20 +114,35 @@ type JitteredTask struct {
 }
 
 // ResponseTimeWithJitterBlocking computes the fixed point described above.
+// The false outcome folds together a proven miss and a failure to converge
+// within MaxRTAIterations; callers that need to distinguish them use
+// ResponseTimeWithJitterBlockingFull.
 func ResponseTimeWithJitterBlocking(c, b, d Time, hp []JitteredTask) (Time, bool) {
-	r := c + b
-	for iter := 0; iter < 100000; iter++ {
+	r, schedulable, _ := ResponseTimeWithJitterBlockingFull(c, b, d, hp)
+	return r, schedulable
+}
+
+// ResponseTimeWithJitterBlockingFull is ResponseTimeWithJitterBlocking with
+// the explicit divergence contract of ResponseTimeFull:
+//
+//   - schedulable && converged: r is the exact response time, r <= d;
+//   - !schedulable && converged: proven miss (r > d at the last iterate);
+//   - !schedulable && !converged: the iteration hit MaxRTAIterations while
+//     still below d; the true response time is unknown but >= r.
+func ResponseTimeWithJitterBlockingFull(c, b, d Time, hp []JitteredTask) (r Time, schedulable, converged bool) {
+	r = c + b
+	for iter := 0; iter < MaxRTAIterations; iter++ {
 		next := c + b
 		for _, h := range hp {
 			next += math.Ceil((r+h.J)/h.T) * h.C
 		}
 		if next == r {
-			return r, r <= d
+			return r, r <= d, true
 		}
 		if next > d {
-			return next, false
+			return next, false, true
 		}
 		r = next
 	}
-	return r, false
+	return r, false, false
 }

@@ -57,19 +57,20 @@ func ResponseTimeFull(c Time, d Time, hp []RTTask) (r Time, schedulable, converg
 
 // CoreSchedulable reports whether the given real-time tasks, all assigned to
 // one core and listed in any order, are schedulable under preemptive fixed
-// priorities with rate-monotonic ordering. It runs exact RTA top-down.
+// priorities with rate-monotonic ordering. It runs exact RTA top-down on a
+// pooled AnalysisState, so the per-call copy+sort of the historical
+// implementation is gone; the RM order and RTA verdicts are identical.
 func CoreSchedulable(tasks []RTTask) bool {
 	if len(tasks) == 0 {
 		return true
 	}
-	sorted := append([]RTTask(nil), tasks...)
-	SortRateMonotonic(sorted)
-	for i, t := range sorted {
-		if _, ok := ResponseTime(t.C, t.D, sorted[:i]); !ok {
-			return false
-		}
+	st := AcquireAnalysisState(1)
+	for _, t := range tasks {
+		st.SeedRT(0, t)
 	}
-	return true
+	ok := st.RTSchedulable(0)
+	ReleaseAnalysisState(st)
+	return ok
 }
 
 // LiuLaylandBound returns the classic utilization bound n(2^{1/n}-1) for n

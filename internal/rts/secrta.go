@@ -22,22 +22,40 @@ type InterferingTask struct {
 // (1 + Ts/T_h)*C_h, because ceil(x) <= x + 1: any allocation feasible under
 // Eq. (6) is feasible here too (see VerifyLinearImpliesExact tests), so the
 // paper's analysis is sound, merely pessimistic.
+//
+// The false outcome folds together a proven miss and a failure to converge
+// within MaxRTAIterations; callers that need to distinguish them use
+// ExactSecurityResponseTimeFull.
 func ExactSecurityResponseTime(c Time, d Time, hp []InterferingTask) (Time, bool) {
-	r := c
-	for iter := 0; iter < 100000; iter++ {
+	r, schedulable, _ := ExactSecurityResponseTimeFull(c, d, hp)
+	return r, schedulable
+}
+
+// ExactSecurityResponseTimeFull is ExactSecurityResponseTime with the
+// explicit divergence contract of ResponseTimeFull:
+//
+//   - schedulable && converged: r is the exact response time, r <= d;
+//   - !schedulable && converged: proven miss — the demand at the last
+//     iterate already exceeds d (r > d);
+//   - !schedulable && !converged: the iteration hit MaxRTAIterations while
+//     still below d. The exact response time is unknown but >= r; treating
+//     the task as unschedulable is conservative, never unsound.
+func ExactSecurityResponseTimeFull(c Time, d Time, hp []InterferingTask) (r Time, schedulable, converged bool) {
+	r = c
+	for iter := 0; iter < MaxRTAIterations; iter++ {
 		next := c
 		for _, h := range hp {
 			next += math.Ceil(r/h.T) * h.C
 		}
 		if next == r {
-			return r, r <= d
+			return r, r <= d, true
 		}
 		if next > d {
-			return next, false
+			return next, false, true
 		}
 		r = next
 	}
-	return r, false
+	return r, false, false
 }
 
 // LinearSecurityResponseBound evaluates the paper's Eq. (5)+(6) left side

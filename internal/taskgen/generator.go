@@ -97,7 +97,7 @@ func Generate(p Params, rng *rand.Rand) (*Workload, error) {
 	w := &Workload{RT: make([]rts.RTTask, nr)}
 	for i, u := range rtUtils {
 		period := logUniform(rng, p.RTPeriodMin, p.RTPeriodMax)
-		w.RT[i] = rts.NewRTTask(fmt.Sprintf("rt%02d", i), u*period, period)
+		w.RT[i] = rts.NewRTTask(taskName("rt", i), u*period, period)
 	}
 
 	if ns > 0 {
@@ -112,7 +112,7 @@ func Generate(p Params, rng *rand.Rand) (*Workload, error) {
 		for i, u := range secUtils {
 			tdes := p.SecTDesMin + (p.SecTDesMax-p.SecTDesMin)*rng.Float64()
 			w.Sec[i] = rts.SecurityTask{
-				Name: fmt.Sprintf("sec%02d", i),
+				Name: taskName("sec", i),
 				C:    u * tdes,
 				TDes: tdes,
 				TMax: p.TMaxFactor * tdes,
@@ -123,6 +123,33 @@ func Generate(p Params, rng *rand.Rand) (*Workload, error) {
 		return nil, fmt.Errorf("taskgen: generated invalid workload: %w", err)
 	}
 	return w, nil
+}
+
+// taskNames memoizes the two-digit generated task names ("rt00", "sec17",
+// ...): name formatting was a measurable slice of a sweep cell's budget, and
+// every draw re-creates the same handful of strings. Indices >= 100 (never
+// produced by the paper's parameter ranges) fall back to fmt.
+var taskNames [100][2]string
+
+func init() {
+	for i := range taskNames {
+		digits := string([]byte{'0' + byte(i/10), '0' + byte(i%10)})
+		taskNames[i] = [2]string{"rt" + digits, "sec" + digits}
+	}
+}
+
+// taskName returns prefix+"%02d" for the given index, from the memoized
+// table when possible. Only the prefixes "rt" and "sec" are memoized.
+func taskName(prefix string, i int) string {
+	if i >= 0 && i < len(taskNames) {
+		switch prefix {
+		case "rt":
+			return taskNames[i][0]
+		case "sec":
+			return taskNames[i][1]
+		}
+	}
+	return fmt.Sprintf("%s%02d", prefix, i)
 }
 
 // randIntIn returns a uniform integer in [lo, hi].
