@@ -34,6 +34,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/experiments"
 	"hydra/internal/jobs"
+	"hydra/internal/online"
 	"hydra/internal/report"
 )
 
@@ -46,7 +47,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hydra-experiments", flag.ContinueOnError)
-	which := fs.String("experiment", "all", "table1, fig1, fig2, fig3, ablation or all")
+	which := fs.String("experiment", "all", "table1, fig1, fig2, fig3, ablation, online or all")
 	seed := fs.Int64("seed", 1, "RNG seed (experiments are deterministic per seed)")
 	tasksets := fs.Int("tasksets", 250, "tasksets per utilization point (fig2; fig3 uses a quarter)")
 	attacks := fs.Int("attacks", 1000, "attacks per scheme and core count (fig1)")
@@ -221,6 +222,34 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	runOnline := func() error {
+		schemes, err := onlineSchemes(schemeList)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\n== Online churn: dynamic task arrival/departure (%s) ==\n", strings.Join(schemes, " vs "))
+		for _, m := range coreList {
+			pts, err := experiments.RunOnline(experiments.OnlineConfig{
+				M: m, Schemes: schemes, SystemsPerCell: max(1, *tasksets/25),
+				Seed: *seed, Workers: *workers,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "\n-- %d cores --\n", m)
+			tb := report.NewTable("scheme", "total_util", "depart_rate", "systems", "acceptance", "inc_us", "cold_us", "speedup")
+			for _, p := range pts {
+				tb.AddRowf("%s\t%s\t%s\t%d\t%s\t%.1f\t%.1f\t%.1fx",
+					p.Scheme, report.F(p.TotalUtil), report.F(p.DepartRate), p.Systems,
+					report.F(p.AcceptanceRatio), p.IncrementalMeanUS, p.ColdMeanUS, p.SpeedupX)
+			}
+			if err := emit(tb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	switch *which {
 	case "table1":
 		return runTable1()
@@ -232,20 +261,51 @@ func run(args []string, stdout io.Writer) error {
 		return runFig3()
 	case "ablation":
 		return runAblation()
+	case "online":
+		return runOnline()
 	case "all":
 		for _, f := range []func() error{runTable1, runFig1, runFig2, runFig3, runAblation} {
 			if err := f(); err != nil {
 				return err
 			}
 		}
-		return nil
+		// The online stage needs incrementally admissible schemes; a -schemes
+		// list without any (valid for every other experiment) skips it with a
+		// notice instead of failing the whole run after five experiments.
+		if _, err := onlineSchemes(schemeList); err != nil {
+			fmt.Fprintf(stdout, "\n== Online churn: skipped (%v) ==\n", err)
+			return nil
+		}
+		return runOnline()
 	default:
 		return fmt.Errorf("unknown experiment %q", *which)
 	}
 }
 
+// onlineSchemes filters the -schemes list down to the schemes the online
+// admission layer supports (the CLI default includes "singlecore", which has
+// no incremental step); an explicitly unusable list is an error rather than
+// a silent fallback.
+func onlineSchemes(schemeList []string) ([]string, error) {
+	supported := map[string]bool{}
+	for _, name := range online.SupportedSchemes() {
+		supported[name] = true
+	}
+	var out []string
+	for _, name := range schemeList {
+		if supported[name] {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("none of the schemes %v supports online admission (want a subset of %v)",
+			schemeList, online.SupportedSchemes())
+	}
+	return out, nil
+}
+
 // campaignConfig maps the CLI flags onto the named spec's JSON config,
-// mirroring what the non-campaign code paths run (fig2 and ablation
+// mirroring what the non-campaign code paths run (fig2, ablation and online
 // campaigns cover the first -cores entry; run one campaign per M for the
 // full figure).
 func campaignConfig(which string, coreList []int, schemeList []string, seed int64, tasksets, attacks, workers int, refine bool) (json.RawMessage, error) {
@@ -261,8 +321,14 @@ func campaignConfig(which string, coreList []int, schemeList []string, seed int6
 		cfg = experiments.Fig3Config{TasksetsPerPoint: max(1, tasksets/4), Seed: seed, Scheme: schemeList[0], RefineJointGP: refine, Workers: workers}
 	case "ablation":
 		cfg = experiments.AblationConfig{M: coreList[0], TasksetsPerCell: max(1, tasksets/2), Seed: seed, Workers: workers}
+	case "online":
+		schemes, err := onlineSchemes(schemeList)
+		if err != nil {
+			return nil, err
+		}
+		cfg = experiments.OnlineConfig{M: coreList[0], Schemes: schemes, SystemsPerCell: max(1, tasksets/25), Seed: seed, Workers: workers}
 	default:
-		return nil, fmt.Errorf("-checkpoint needs a single experiment (table1, fig1, fig2, fig3 or ablation), got %q", which)
+		return nil, fmt.Errorf("-checkpoint needs a single experiment (table1, fig1, fig2, fig3, ablation or online), got %q", which)
 	}
 	return json.Marshal(cfg)
 }

@@ -101,6 +101,30 @@ func TestAblationExperimentSmall(t *testing.T) {
 	}
 }
 
+func TestOnlineExperimentSmall(t *testing.T) {
+	out, err := runExp(t, "-experiment", "online", "-tasksets", "25", "-cores", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "depart_rate") || !strings.Contains(out, "hydra") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// The default -schemes list is filtered to the online-admissible subset;
+	// an explicitly unusable list errors instead of silently falling back.
+	if _, err := runExp(t, "-experiment", "online", "-schemes", "singlecore"); err == nil {
+		t.Fatal("singlecore-only online run must error")
+	}
+	// ...while -experiment all routes through the same filter and skips the
+	// online stage (with a notice) instead of failing after five experiments.
+	if _, err := onlineSchemes([]string{"singlecore"}); err == nil {
+		t.Fatal("onlineSchemes must reject a list with no admissible scheme")
+	}
+	got, err := onlineSchemes([]string{"hydra", "singlecore"})
+	if err != nil || len(got) != 1 || got[0] != "hydra" {
+		t.Fatalf("onlineSchemes filter: got %v, %v", got, err)
+	}
+}
+
 func TestSchemesFlag(t *testing.T) {
 	out, err := runExp(t, "-experiment", "fig2", "-tasksets", "3", "-cores", "2",
 		"-schemes", "hydra,partition-best-fit")

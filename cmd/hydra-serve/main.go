@@ -8,6 +8,14 @@
 //	POST   /v1/allocate/batch           allocate many tasksets on the worker pool
 //	POST   /v1/verify                   check a result against the linear and exact analyses
 //	POST   /v1/simulate                 allocate and run the discrete-event simulator
+//	POST   /v1/systems                  create a long-lived online system (cold allocation)
+//	GET    /v1/systems                  list hosted systems
+//	GET    /v1/systems/{id}             one system's committed state
+//	DELETE /v1/systems/{id}             delete a system
+//	POST   /v1/systems/{id}/tasks       try-admit a task incrementally (409 + verdicts on reject)
+//	DELETE /v1/systems/{id}/tasks/{t}   retire a task by name
+//	POST   /v1/systems/{id}/reallocate  full re-run of the system's scheme (escape hatch)
+//	GET    /v1/systems/{id}/events      SSE decision log (?since=V, ?follow=1)
 //	POST   /v1/experiments              start an experiment campaign job (fig1/fig2/...)
 //	GET    /v1/experiments              list campaign jobs and runnable experiments
 //	GET    /v1/experiments/{id}         job status: state, per-cell progress, ETA
@@ -57,13 +65,14 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 	workers := fs.Int("workers", 0, "default batch worker-pool width (0 = GOMAXPROCS)")
 	jobsDir := fs.String("jobs-dir", "", "experiment-campaign checkpoint directory; interrupted campaigns found there resume on startup (empty = fresh temp dir, campaigns do not survive the process)")
 	maxJobs := fs.Int("max-jobs", 2, "concurrently running experiment campaigns; further submissions queue")
+	maxSystems := fs.Int("max-systems", 64, "long-lived online systems hosted under /v1/systems")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining connections on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers, JobsDir: *jobsDir, MaxJobs: *maxJobs}
+	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers, JobsDir: *jobsDir, MaxJobs: *maxJobs, MaxSystems: *maxSystems}
 	return serve(ctx, *addr, cfg, *shutdownTimeout, logw, ready)
 }
 

@@ -44,14 +44,17 @@ func HydraExt(in *Input, opt ExtOptions) *Result {
 	if err := in.Validate(); err != nil {
 		return newInfeasible("hydra-ext", err.Error())
 	}
-	order, chainPred, err := extOrder(in, opt.Chains)
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	order, chainPred, err := extOrder(in, opt.Chains, sc)
 	if err != nil {
 		return newInfeasible("hydra-ext", err.Error())
 	}
 
 	// Blocking terms: for each task (by priority rank), the largest WCET of
 	// any task processed after it. Computed over the processing order.
-	blocking := make([]rts.Time, len(in.Sec))
+	sc.blocking = filled(sc.blocking, len(in.Sec), 0)
+	blocking := sc.blocking
 	if opt.NonPreemptiveSecurity {
 		var maxC rts.Time
 		for k := len(order) - 1; k >= 0; k-- {
@@ -62,8 +65,6 @@ func HydraExt(in *Input, opt ExtOptions) *Result {
 		}
 	}
 
-	sc := acquireScratch()
-	defer releaseScratch(sc)
 	sc.loads = in.copyRTLoads(sc.loads)
 	loads := sc.loads
 	assign := make([]int, len(in.Sec))
@@ -133,12 +134,11 @@ func HydraExt(in *Input, opt ExtOptions) *Result {
 // extOrder derives the processing order: the usual priority order (ascending
 // TMax) stably adjusted so every chain predecessor precedes its successors.
 // It returns the order plus, per task, its direct chain predecessor (-1 for
-// none).
-func extOrder(in *Input, chains [][]int) ([]int, []int, error) {
-	chainPred := make([]int, len(in.Sec))
-	for i := range chainPred {
-		chainPred[i] = -1
-	}
+// none). Both returned slices are backed by sc's pooled buffers and are only
+// valid until the scratch is released.
+func extOrder(in *Input, chains [][]int, sc *allocScratch) ([]int, []int, error) {
+	chainPred := filled(sc.chainPred, len(in.Sec), -1)
+	sc.chainPred = chainPred
 	for ci, chain := range chains {
 		for k, idx := range chain {
 			if idx < 0 || idx >= len(in.Sec) {
@@ -163,8 +163,9 @@ func extOrder(in *Input, chains [][]int) ([]int, []int, error) {
 	base := in.secOrder()
 	// Kahn-style stable topological sort over the chain edges, scanning the
 	// base priority order repeatedly; chains are short so this stays cheap.
-	placed := make([]bool, len(in.Sec))
-	var order []int
+	sc.placed = filled(sc.placed, len(in.Sec), false)
+	placed := sc.placed
+	order := sc.order[:0]
 	for len(order) < len(base) {
 		progressed := false
 		for _, i := range base {
@@ -182,6 +183,7 @@ func extOrder(in *Input, chains [][]int) ([]int, []int, error) {
 			return nil, nil, fmt.Errorf("core: precedence chains contain a cycle")
 		}
 	}
+	sc.order = order
 	return order, chainPred, nil
 }
 

@@ -117,7 +117,9 @@ func TestHydraExtOrderRespectsChains(t *testing.T) {
 		{Name: "succ", C: 10, TDes: 100, TMax: 1000},
 	}
 	in := twoCoreInput(t, 0.1, 0.1, sec)
-	order, chainPred, err := extOrder(in, [][]int{{0, 1}})
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	order, chainPred, err := extOrder(in, [][]int{{0, 1}}, sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -108,29 +108,38 @@ func (in *Input) RTLoads() []rts.CoreLoad {
 	return in.copyRTLoads(nil)
 }
 
-// secOrder returns security task indices sorted from highest to lowest
-// priority (ascending TMax, ties by name then index — Sec. II-C). The
-// returned slice is cached and shared: callers must treat it as read-only.
+// SecurityPriorityOrder returns sec indices sorted from highest to lowest
+// priority (ascending TMax, ties by name then index — Sec. II-C): the
+// processing order of every allocation scheme. It is exported because the
+// online admission layer commits its cold allocations in exactly this order
+// to keep its load folds bit-identical to the scheme's run — a drifting copy
+// of the comparator would silently break that contract.
+func SecurityPriorityOrder(sec []rts.SecurityTask) []int {
+	order := make([]int, len(sec))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := sec[order[a]], sec[order[b]]
+		if sa.TMax != sb.TMax {
+			return sa.TMax < sb.TMax
+		}
+		if sa.Name != sb.Name {
+			return sa.Name < sb.Name
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// secOrder returns the cached SecurityPriorityOrder of in.Sec. The returned
+// slice is shared: callers must treat it as read-only.
 func (in *Input) secOrder() []int {
 	in.orderOnce.Do(func() {
 		if in.order != nil {
 			return // pre-seeded (EffectiveInput shares the parent's order)
 		}
-		order := make([]int, len(in.Sec))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			sa, sb := in.Sec[order[a]], in.Sec[order[b]]
-			if sa.TMax != sb.TMax {
-				return sa.TMax < sb.TMax
-			}
-			if sa.Name != sb.Name {
-				return sa.Name < sb.Name
-			}
-			return order[a] < order[b]
-		})
-		in.order = order
+		in.order = SecurityPriorityOrder(in.Sec)
 	})
 	return in.order
 }

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// zeroLatencies clears the wall-clock fields, leaving only the
+// seed-deterministic decision counts.
+func zeroLatencies(pts []OnlinePoint) {
+	for i := range pts {
+		pts[i].IncrementalMeanUS = 0
+		pts[i].ColdMeanUS = 0
+		pts[i].SpeedupX = 0
+	}
+}
+
+// TestOnlineChurnDeterministicAcrossWorkers: the churn sweep's admission
+// decisions (everything except the measured latencies) are identical for any
+// worker count, like every other spec on the engine.
+func TestOnlineChurnDeterministicAcrossWorkers(t *testing.T) {
+	cfg := OnlineConfig{
+		M:              2,
+		Schemes:        []string{"hydra", "hydra-least-loaded"},
+		UtilFracs:      []float64{0.4, 0.6},
+		DepartRates:    []float64{0.3},
+		Ops:            60,
+		SystemsPerCell: 4,
+		Seed:           11,
+	}
+	cfg.Workers = 1
+	one, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	eight, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroLatencies(one)
+	zeroLatencies(eight)
+	if len(one) != 4 {
+		t.Fatalf("got %d points, want 4", len(one))
+	}
+	for i := range one {
+		if one[i] != eight[i] {
+			t.Fatalf("point %d differs across worker counts:\n%+v\nvs\n%+v", i, one[i], eight[i])
+		}
+	}
+	// The sweep must actually exercise churn: dynamic admissions, some
+	// departures, and at least one live system per point.
+	for _, pt := range one {
+		if pt.Systems == 0 {
+			t.Fatalf("point %+v has no live systems", pt)
+		}
+		if pt.Attempts == 0 || pt.Admitted == 0 {
+			t.Fatalf("point %+v admitted nothing", pt)
+		}
+		if pt.AcceptanceRatio <= 0 || pt.AcceptanceRatio > 1 {
+			t.Fatalf("acceptance ratio %g out of range", pt.AcceptanceRatio)
+		}
+	}
+	var removed int
+	for _, pt := range one {
+		removed += pt.Removed
+	}
+	if removed == 0 {
+		t.Fatal("no departures happened across the whole sweep")
+	}
+}
+
+// TestOnlineRejectsUnknownScheme: unknown schemes fail the sweep up front.
+func TestOnlineRejectsUnknownScheme(t *testing.T) {
+	if _, err := RunOnline(OnlineConfig{Schemes: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}

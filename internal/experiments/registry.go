@@ -201,4 +201,11 @@ func init() {
 		}
 		return runAblation(ctx, cfg, h)
 	}})
+	RegisterSpec(specFunc{name: "online", run: func(ctx context.Context, config json.RawMessage, h Hooks) (any, error) {
+		cfg, err := decodeSpecConfig[OnlineConfig](config)
+		if err != nil {
+			return nil, err
+		}
+		return runOnline(ctx, cfg, h)
+	}})
 }

@@ -14,7 +14,7 @@ func TestSpecCatalogue(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Fatalf("SpecNames not sorted: %v", names)
 	}
-	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "ablation"} {
+	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "ablation", "online"} {
 		if _, ok := LookupSpec(want); !ok {
 			t.Fatalf("spec %q not registered (have %v)", want, names)
 		}
@@ -105,6 +105,7 @@ func TestSpecCheckpointReplayByteIdentical(t *testing.T) {
 		"fig2":     `{"M": 2, "TasksetsPerPoint": 2, "UtilStepFrac": 0.25, "Seed": 3}`,
 		"fig3":     `{"TasksetsPerPoint": 2, "UtilStepFrac": 0.25, "Seed": 3}`,
 		"ablation": `{"M": 2, "TasksetsPerCell": 4, "Seed": 3}`,
+		"online":   `{"M": 2, "Ops": 30, "SystemsPerCell": 2, "UtilFracs": [0.4], "Seed": 3}`,
 	}
 	for _, name := range SpecNames() {
 		cfg, ok := configs[name]

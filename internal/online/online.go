@@ -1,0 +1,566 @@
+// Package online hosts long-lived allocation systems whose tasksets churn
+// while the system runs — the serving-side counterpart of the paper's one-shot
+// design-space question "can this static taskset host these security tasks?".
+//
+// A System owns a committed allocation (real-time partition, security
+// assignments and adapted periods) plus the per-core incremental
+// rts.AnalysisState it was admitted against, so task arrival is an O(M)
+// admission trial on warm state instead of a cold full allocation:
+//
+//   - AddSecurity runs the registered HYDRA policy's per-core period
+//     adaptation against the committed load folds and commits to the winning
+//     core, or rejects with a structured per-core Rejection;
+//   - AddRT places a real-time task with the system's partition heuristic
+//     under exact-RTA admission, additionally requiring every committed
+//     security task on the destination core to keep meeting its committed
+//     period (their periods are contracts; tightly adapted tasks make the
+//     core RT-frozen until a Reallocate re-tunes them);
+//   - Remove retires a task by name; real-time removals cold-reseed the
+//     affected core through rts.AnalysisState.RemoveRT so the surviving
+//     state is bit-identical to one that never saw the task;
+//   - Reallocate is the escape hatch: a full re-run of the system's scheme
+//     on the current taskset, byte-identical to a cold allocation of that
+//     taskset, replacing the committed state only on success.
+//
+// Incrementally admitted security tasks take analysis priority in commit
+// order (each new arrival is tested against the interference of everything
+// already committed, leaving committed tasks untouched) — sound under
+// Eq. (5)/(6) for the commit-order priority assignment, but possibly looser
+// than the TMax-priority order a cold run uses; Reallocate recovers that
+// tightness. Every admit/reject/remove/reallocate decision is recorded in a
+// monotonically versioned event log.
+//
+// All System methods are safe for concurrent use; mutations serialize on a
+// per-system lock.
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"hydra/internal/core"
+	"hydra/internal/partition"
+	"hydra/internal/rts"
+)
+
+// incrementalSchemes maps the allocation schemes a System can host onto the
+// HYDRA options their incremental admission step mirrors. Schemes outside
+// this set (opt's exhaustive search, singlecore's repartitioning, the -np
+// blocking variants whose terms are global over lower-priority tasks) have no
+// sound per-task incremental counterpart and are rejected at creation.
+var incrementalSchemes = map[string]core.HydraOptions{
+	"hydra":                {},
+	"hydra-gp":             {UseGP: true},
+	"hydra-first-feasible": {Policy: core.FirstFeasible},
+	"hydra-least-loaded":   {Policy: core.LeastLoaded},
+}
+
+// SupportedSchemes returns the scheme names a System can host, sorted.
+func SupportedSchemes() []string {
+	out := make([]string, 0, len(incrementalSchemes))
+	for name := range incrementalSchemes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TaskKind distinguishes the two task populations of a system.
+type TaskKind string
+
+const (
+	// KindRT marks a real-time task.
+	KindRT TaskKind = "rt"
+	// KindSecurity marks a security task.
+	KindSecurity TaskKind = "security"
+)
+
+// PlacedRT is one committed real-time task.
+type PlacedRT struct {
+	Task rts.RTTask
+	Core int
+}
+
+// PlacedSec is one committed security task with its adapted period.
+type PlacedSec struct {
+	Task   rts.SecurityTask
+	Core   int
+	Period rts.Time
+}
+
+// Tightness returns the achieved eta = TDes/period of the placement.
+func (p PlacedSec) Tightness() float64 { return p.Task.Tightness(p.Period) }
+
+// Placement reports a successful admission.
+type Placement struct {
+	Core      int
+	Period    rts.Time // security tasks only (0 for real-time)
+	Tightness float64  // security tasks only
+	Version   uint64   // the admit event's version
+}
+
+// Removed reports a successful removal.
+type Removed struct {
+	Kind    TaskKind
+	Core    int
+	Version uint64
+}
+
+// CoreVerdict is one core's reason for refusing a task.
+type CoreVerdict struct {
+	Core   int    `json:"core"`
+	Reason string `json:"reason"`
+}
+
+// Rejection is the structured no-core-admits error: one verdict per core, in
+// core order. It satisfies error so callers can errors.As it out of the
+// admission path.
+type Rejection struct {
+	Task    string        `json:"task"`
+	Kind    TaskKind      `json:"kind"`
+	Version uint64        `json:"version"` // the reject event's version
+	Cores   []CoreVerdict `json:"cores"`
+}
+
+// Error renders the rejection as a one-line summary.
+func (r *Rejection) Error() string {
+	parts := make([]string, len(r.Cores))
+	for i, v := range r.Cores {
+		parts[i] = fmt.Sprintf("core %d: %s", v.Core, v.Reason)
+	}
+	return fmt.Sprintf("online: no core admits %s task %q (%s)", r.Kind, r.Task, strings.Join(parts, "; "))
+}
+
+// ErrNotFound is returned by Remove for unknown task names.
+var ErrNotFound = fmt.Errorf("online: no such task")
+
+// ErrDuplicateName is returned when an added task's name is already committed.
+var ErrDuplicateName = fmt.Errorf("online: task name already in use")
+
+// System is one long-lived allocation system. Create with NewSystem.
+type System struct {
+	id        string
+	scheme    string
+	opts      core.HydraOptions
+	heuristic partition.Heuristic
+	m         int
+
+	mu      sync.Mutex
+	st      *rts.AnalysisState // long-lived incremental per-core state
+	rt      []PlacedRT         // commit order
+	sec     []PlacedSec        // commit order == analysis priority order
+	names   map[string]TaskKind
+	cursor  int // NextFit cursor for RT placements
+	version uint64
+	events  []Event
+	maxEv   int
+	changed chan struct{}
+	onEvent func(Event) // registry counter sink; may be nil
+}
+
+// NewSystem builds a system by running the scheme cold on the initial
+// taskset: the real-time tasks are partitioned with the heuristic — or
+// placed on the caller's pinned partition (part[i] = core of rt[i]; nil
+// leaves partitioning to the heuristic), checked for exact-RTA
+// schedulability — the security tasks allocated by the registered scheme,
+// and the committed state seeded from that allocation. A pinned partition
+// seeds creation only: the system owns every placement afterwards, and
+// Reallocate re-partitions with the heuristic. The initial taskset may be
+// empty. Task names must be unique across both populations (removal is by
+// name).
+func NewSystem(id, scheme string, h partition.Heuristic, m int, rt []rts.RTTask, part []int, sec []rts.SecurityTask) (*System, error) {
+	if scheme == "" {
+		scheme = "hydra"
+	}
+	opts, ok := incrementalSchemes[scheme]
+	if !ok {
+		return nil, fmt.Errorf("online: scheme %q has no incremental admission step (supported: %s)",
+			scheme, strings.Join(SupportedSchemes(), ", "))
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("online: need at least one core, got %d", m)
+	}
+	if err := rts.ValidateAll(rt, sec); err != nil {
+		return nil, err
+	}
+	names := make(map[string]TaskKind, len(rt)+len(sec))
+	for _, t := range rt {
+		if _, dup := names[t.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateName, t.Name)
+		}
+		names[t.Name] = KindRT
+	}
+	for _, t := range sec {
+		if _, dup := names[t.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateName, t.Name)
+		}
+		names[t.Name] = KindSecurity
+	}
+	s := &System{
+		id:        id,
+		scheme:    scheme,
+		opts:      opts,
+		heuristic: h,
+		m:         m,
+		st:        rts.NewAnalysisState(m),
+		names:     names,
+		maxEv:     defaultMaxEvents,
+		changed:   make(chan struct{}),
+	}
+	if err := s.commitColdAllocation(rt, sec, part); err != nil {
+		return nil, err
+	}
+	s.logEvent(Event{Type: EventCreate, Core: -1,
+		Reason: fmt.Sprintf("scheme %s, %d cores, %d rt + %d security tasks", scheme, m, len(rt), len(sec))})
+	return s, nil
+}
+
+// commitColdAllocation runs the scheme cold on (rt, sec) and replaces the
+// committed state with its outcome, placing the real-time tasks on pinned
+// (validated for shape and exact-RTA schedulability) when non-nil, else on a
+// fresh heuristic partition. The caller holds no lock (creation) or the
+// system lock (Reallocate); on error the state is left untouched.
+func (s *System) commitColdAllocation(rt []rts.RTTask, sec []rts.SecurityTask, pinned []int) error {
+	var part []int
+	switch {
+	case pinned != nil:
+		if len(pinned) != len(rt) {
+			return fmt.Errorf("online: pinned partition covers %d tasks, taskset has %d", len(pinned), len(rt))
+		}
+		for i, c := range pinned {
+			if c < 0 || c >= s.m {
+				return fmt.Errorf("online: pinned partition places task %d on invalid core %d of %d", i, c, s.m)
+			}
+		}
+		// Heuristic partitions are exact-RTA-admitted by construction; a
+		// pinned one must be checked before it becomes committed state.
+		probe := rts.AcquireAnalysisState(s.m)
+		for i, c := range pinned {
+			probe.SeedRT(c, rt[i])
+		}
+		for c := 0; c < s.m; c++ {
+			if !probe.RTSchedulable(c) {
+				rts.ReleaseAnalysisState(probe)
+				return fmt.Errorf("online: pinned partition is not schedulable under exact RTA on core %d", c)
+			}
+		}
+		rts.ReleaseAnalysisState(probe)
+		part = pinned
+	case len(rt) > 0:
+		p, err := partition.PartitionRT(rt, s.m, s.heuristic)
+		if err != nil {
+			return err
+		}
+		part = p.CoreOf
+	}
+	var res *core.Result
+	if len(sec) > 0 {
+		in, err := core.NewInput(s.m, rt, part, sec)
+		if err != nil {
+			return err
+		}
+		res = core.Hydra(in, s.opts)
+		if !res.Schedulable {
+			return fmt.Errorf("online: scheme %s rejects the taskset: %s", s.scheme, res.Reason)
+		}
+	}
+
+	s.st.Reset(s.m)
+	s.rt = s.rt[:0]
+	for i, t := range rt {
+		s.st.SeedRT(part[i], t)
+		s.rt = append(s.rt, PlacedRT{Task: t, Core: part[i]})
+	}
+	s.sec = s.sec[:0]
+	if res != nil {
+		// Commit in the scheme's own processing order (core.
+		// SecurityPriorityOrder — ascending TMax, ties by name then index),
+		// so the commit-order load folds match the cold run's bit for bit.
+		for _, i := range core.SecurityPriorityOrder(sec) {
+			s.sec = append(s.sec, PlacedSec{Task: sec[i], Core: res.Assignment[i], Period: res.Periods[i]})
+			s.st.CommitSecurity(res.Assignment[i], sec[i].C, res.Periods[i])
+		}
+	}
+	s.cursor = 0
+	return nil
+}
+
+// ID returns the system id.
+func (s *System) ID() string { return s.id }
+
+// Scheme returns the registered scheme name the system runs.
+func (s *System) Scheme() string { return s.scheme }
+
+// Heuristic returns the real-time partition heuristic.
+func (s *System) Heuristic() partition.Heuristic { return s.heuristic }
+
+// M returns the platform size.
+func (s *System) M() int { return s.m }
+
+// coreFold returns the committed Eq. 5 load fold of core c: the real-time
+// load (arrival order, maintained by AnalysisState) plus every committed
+// security task on c folded in commit order.
+func (s *System) coreFold(c int) rts.CoreLoad {
+	load := s.st.RTLoad(c)
+	for i := range s.sec {
+		if s.sec[i].Core == c {
+			load.AddPeriodic(s.sec[i].Task.C, s.sec[i].Period)
+		}
+	}
+	return load
+}
+
+// AddSecurity try-admits a security task on the committed state: the
+// scheme's period adaptation runs against every core's committed fold and
+// the task commits to the core its policy scores best, at analysis priority
+// below everything already committed. On success the placement is returned;
+// when no core admits, the returned error is a *Rejection carrying one
+// verdict per core.
+func (s *System) AddSecurity(t rts.SecurityTask) (Placement, error) {
+	if err := t.Validate(); err != nil {
+		return Placement{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.names[t.Name]; dup {
+		return Placement{}, fmt.Errorf("%w: %q", ErrDuplicateName, t.Name)
+	}
+	adapt := core.PeriodAdaptation
+	if s.opts.UseGP {
+		adapt = core.PeriodAdaptationGP
+	}
+	bestCore, bestPeriod, bestScore := -1, rts.Time(0), math.Inf(-1)
+	verdicts := make([]CoreVerdict, 0, s.m)
+	for c := 0; c < s.m; c++ {
+		fold := s.coreFold(c)
+		ts, ok := adapt(t, fold)
+		if !ok {
+			verdicts = append(verdicts, CoreVerdict{Core: c, Reason: fmt.Sprintf(
+				"no feasible period in [%g, %g] against committed load (sum C %.4g ms, util %.4g)",
+				t.TDes, t.TMax, fold.SumC, fold.SumU)})
+			continue
+		}
+		var score float64
+		switch s.opts.Policy {
+		case core.BestTightness:
+			score = t.Tightness(ts)
+		case core.FirstFeasible:
+			score = float64(s.m - c)
+		case core.LeastLoaded:
+			score = 1 - fold.SumU
+		}
+		if score > bestScore {
+			bestScore, bestCore, bestPeriod = score, c, ts
+		}
+		if s.opts.Policy == core.FirstFeasible {
+			break
+		}
+	}
+	if bestCore < 0 {
+		rej := &Rejection{Task: t.Name, Kind: KindSecurity, Cores: verdicts}
+		rej.Version = s.logEvent(Event{Type: EventReject, Task: t.Name, Kind: KindSecurity, Core: -1, Reason: rej.Error()})
+		return Placement{}, rej
+	}
+	s.sec = append(s.sec, PlacedSec{Task: t, Core: bestCore, Period: bestPeriod})
+	s.st.CommitSecurity(bestCore, t.C, bestPeriod)
+	s.names[t.Name] = KindSecurity
+	v := s.logEvent(Event{Type: EventAdmit, Task: t.Name, Kind: KindSecurity, Core: bestCore,
+		PeriodMS: bestPeriod, Tightness: t.Tightness(bestPeriod)})
+	return Placement{Core: bestCore, Period: bestPeriod, Tightness: t.Tightness(bestPeriod), Version: v}, nil
+}
+
+// AddRT try-admits a real-time task: the system's partition heuristic picks
+// among the cores that (a) stay exact-RTA schedulable with t added and
+// (b) keep every committed security task within its committed period under
+// the grown interference. When no core qualifies the returned error is a
+// *Rejection.
+func (s *System) AddRT(t rts.RTTask) (Placement, error) {
+	if err := t.Validate(); err != nil {
+		return Placement{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.names[t.Name]; dup {
+		return Placement{}, fmt.Errorf("%w: %q", ErrDuplicateName, t.Name)
+	}
+	verdicts := make([]CoreVerdict, s.m)
+	admits := func(c int) bool {
+		if !s.st.TryAddRT(c, t) {
+			verdicts[c] = CoreVerdict{Core: c, Reason: "real-time tasks would miss a deadline under exact RTA"}
+			return false
+		}
+		if victim, ok := s.securityStaysFeasible(c, t); !ok {
+			verdicts[c] = CoreVerdict{Core: c, Reason: fmt.Sprintf(
+				"committed security task %q would miss its period %g ms (reallocate to re-tune periods)",
+				victim.Task.Name, victim.Period)}
+			return false
+		}
+		return true
+	}
+	chosen, err := partition.ChooseCore(s.heuristic, s.m, admits, s.st.RTUtil, &s.cursor)
+	if err != nil {
+		return Placement{}, err
+	}
+	if chosen < 0 {
+		rej := &Rejection{Task: t.Name, Kind: KindRT}
+		for c := 0; c < s.m; c++ {
+			if verdicts[c].Reason != "" {
+				rej.Cores = append(rej.Cores, verdicts[c])
+			}
+		}
+		rej.Version = s.logEvent(Event{Type: EventReject, Task: t.Name, Kind: KindRT, Core: -1, Reason: rej.Error()})
+		return Placement{}, rej
+	}
+	if !s.st.AddRT(chosen, t) {
+		return Placement{}, fmt.Errorf("online: internal: core %d admitted task %q on trial but refused the commit", chosen, t.Name)
+	}
+	s.rt = append(s.rt, PlacedRT{Task: t, Core: chosen})
+	s.names[t.Name] = KindRT
+	v := s.logEvent(Event{Type: EventAdmit, Task: t.Name, Kind: KindRT, Core: chosen})
+	return Placement{Core: chosen, Version: v}, nil
+}
+
+// securityStaysFeasible checks Eq. (6) for every committed security task on
+// core c with the real-time load grown by t, walking the commit-order fold.
+// It returns the first violated placement when the check fails.
+func (s *System) securityStaysFeasible(c int, t rts.RTTask) (PlacedSec, bool) {
+	load := s.st.RTLoad(c)
+	load.AddRT(t)
+	const tol = 1e-6
+	for i := range s.sec {
+		if s.sec[i].Core != c {
+			continue
+		}
+		ts := s.sec[i].Period
+		if s.sec[i].Task.C+load.LinearInterference(ts) > ts*(1+tol) {
+			return s.sec[i], false
+		}
+		load.AddPeriodic(s.sec[i].Task.C, ts)
+	}
+	return PlacedSec{}, true
+}
+
+// Remove retires the named task. Real-time removals evict and cold-reseed
+// the affected core's analysis state; security removals splice the committed
+// interferer (later tasks keep their commit order and their — now looser —
+// period contracts). It returns ErrNotFound for unknown names.
+func (s *System) Remove(name string) (Removed, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kind, ok := s.names[name]
+	if !ok {
+		return Removed{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	var corec int
+	switch kind {
+	case KindRT:
+		for i := range s.rt {
+			if s.rt[i].Task.Name == name {
+				corec = s.rt[i].Core
+				if !s.st.RemoveRT(corec, s.rt[i].Task) {
+					return Removed{}, fmt.Errorf("online: internal: task %q missing from core %d analysis state", name, corec)
+				}
+				s.rt = append(s.rt[:i], s.rt[i+1:]...)
+				break
+			}
+		}
+	case KindSecurity:
+		for i := range s.sec {
+			if s.sec[i].Task.Name != name {
+				continue
+			}
+			corec = s.sec[i].Core
+			// Distinct tasks can share (C, period); tell the state which of
+			// the equal interferers this one is (its ordinal among matching
+			// commits on the core) so the fold order stays exact.
+			ordinal := 0
+			for j := 0; j < i; j++ {
+				if s.sec[j].Core == corec && s.sec[j].Task.C == s.sec[i].Task.C && s.sec[j].Period == s.sec[i].Period {
+					ordinal++
+				}
+			}
+			if !s.st.RemoveSecurity(corec, s.sec[i].Task.C, s.sec[i].Period, ordinal) {
+				return Removed{}, fmt.Errorf("online: internal: task %q missing from core %d interferer list", name, corec)
+			}
+			s.sec = append(s.sec[:i], s.sec[i+1:]...)
+			break
+		}
+	}
+	delete(s.names, name)
+	v := s.logEvent(Event{Type: EventRemove, Task: name, Kind: kind, Core: corec})
+	return Removed{Kind: kind, Core: corec, Version: v}, nil
+}
+
+// Reallocate re-runs the system's scheme from scratch on the current
+// taskset — the escape hatch when incremental admission rejects (commit-order
+// priorities and frozen period contracts are both looser than a cold run).
+// On success the committed state is replaced by the cold allocation, which is
+// byte-identical to allocating the same taskset on a fresh system; on
+// failure (the heuristics can reject a taskset whose committed state is
+// feasible — bin packing is not monotone) the committed state is untouched.
+func (s *System) Reallocate() (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt := make([]rts.RTTask, len(s.rt))
+	for i := range s.rt {
+		rt[i] = s.rt[i].Task
+	}
+	sec := make([]rts.SecurityTask, len(s.sec))
+	for i := range s.sec {
+		sec[i] = s.sec[i].Task
+	}
+	if err := s.commitColdAllocation(rt, sec, nil); err != nil {
+		s.logEvent(Event{Type: EventReallocateReject, Core: -1, Reason: err.Error()})
+		return Snapshot{}, fmt.Errorf("online: reallocate: %w (committed state unchanged)", err)
+	}
+	s.logEvent(Event{Type: EventReallocate, Core: -1,
+		Reason: fmt.Sprintf("%d rt + %d security tasks, cumulative tightness %.6g", len(s.rt), len(s.sec), s.cumulativeLocked())})
+	return s.snapshotLocked(), nil
+}
+
+// cumulativeLocked sums weight * tightness over the committed security tasks
+// (Eq. 3); callers hold s.mu.
+func (s *System) cumulativeLocked() float64 {
+	var sum float64
+	for i := range s.sec {
+		sum += s.sec[i].Task.EffectiveWeight() * s.sec[i].Tightness()
+	}
+	return sum
+}
+
+// Snapshot is a point-in-time copy of a system's committed state.
+type Snapshot struct {
+	ID        string
+	Scheme    string
+	Heuristic partition.Heuristic
+	M         int
+	Version   uint64
+	RT        []PlacedRT
+	Sec       []PlacedSec
+	// Cumulative is the Eq. 3 weighted tightness over the committed
+	// security tasks.
+	Cumulative float64
+}
+
+// Snapshot returns a copy of the committed state.
+func (s *System) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *System) snapshotLocked() Snapshot {
+	return Snapshot{
+		ID:         s.id,
+		Scheme:     s.scheme,
+		Heuristic:  s.heuristic,
+		M:          s.m,
+		Version:    s.version,
+		RT:         append([]PlacedRT(nil), s.rt...),
+		Sec:        append([]PlacedSec(nil), s.sec...),
+		Cumulative: s.cumulativeLocked(),
+	}
+}

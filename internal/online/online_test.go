@@ -1,0 +1,504 @@
+package online_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/online"
+	"hydra/internal/partition"
+	"hydra/internal/rts"
+	"hydra/internal/stats"
+	"hydra/internal/taskgen"
+)
+
+// benchmarkable base workload: small, schedulable, deterministic.
+func baseWorkload(t testing.TB, m int, util float64, seed int64) *taskgen.Workload {
+	t.Helper()
+	rng := stats.SplitRNG(99, seed)
+	w, err := taskgen.Generate(taskgen.DefaultParams(m, util), rng)
+	if err != nil {
+		t.Fatalf("generate workload: %v", err)
+	}
+	return w
+}
+
+// coldAllocation runs the scheme exactly like a fresh system creation would.
+func coldAllocation(t *testing.T, scheme string, h partition.Heuristic, m int, rt []rts.RTTask, sec []rts.SecurityTask) ([]int, *core.Result) {
+	t.Helper()
+	p, err := partition.PartitionRT(rt, m, h)
+	if err != nil {
+		t.Fatalf("cold partition: %v", err)
+	}
+	in, err := core.NewInput(m, rt, p.CoreOf, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs, err := core.Resolve(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.CoreOf, allocs[0].Allocate(in)
+}
+
+// assertMatchesCold checks a snapshot's committed placements are bit-identical
+// to a cold allocation of the same taskset.
+func assertMatchesCold(t *testing.T, snap online.Snapshot) {
+	t.Helper()
+	rt := make([]rts.RTTask, len(snap.RT))
+	for i := range snap.RT {
+		rt[i] = snap.RT[i].Task
+	}
+	sec := make([]rts.SecurityTask, len(snap.Sec))
+	secIdx := map[string]int{}
+	for i := range snap.Sec {
+		sec[i] = snap.Sec[i].Task
+		secIdx[snap.Sec[i].Task.Name] = i
+	}
+	part, res := coldAllocation(t, snap.Scheme, snap.Heuristic, snap.M, rt, sec)
+	if !res.Schedulable {
+		t.Fatalf("cold run rejects the committed taskset: %s", res.Reason)
+	}
+	for i := range snap.RT {
+		if snap.RT[i].Core != part[i] {
+			t.Fatalf("rt task %q on core %d, cold run puts it on %d", snap.RT[i].Task.Name, snap.RT[i].Core, part[i])
+		}
+	}
+	for name, i := range secIdx {
+		if snap.Sec[i].Core != res.Assignment[i] || snap.Sec[i].Period != res.Periods[i] {
+			t.Fatalf("security task %q: committed (core %d, period %g), cold run (core %d, period %g)",
+				name, snap.Sec[i].Core, snap.Sec[i].Period, res.Assignment[i], res.Periods[i])
+		}
+	}
+	if snap.Cumulative != res.Cumulative {
+		t.Fatalf("cumulative tightness %g, cold run %g", snap.Cumulative, res.Cumulative)
+	}
+}
+
+// TestCreateMatchesColdRun: a fresh system's committed state is exactly the
+// cold allocation of its initial taskset.
+func TestCreateMatchesColdRun(t *testing.T) {
+	for seed := int64(1); seed < 8; seed++ {
+		w := baseWorkload(t, 2, 1.0, seed)
+		s, err := online.NewSystem("t", "hydra", partition.BestFit, 2, w.RT, nil, w.Sec)
+		if err != nil {
+			continue // infeasible draw: creation correctly failed
+		}
+		assertMatchesCold(t, s.Snapshot())
+	}
+}
+
+// TestUnsupportedSchemeRejected: schemes without an incremental admission
+// step are refused at creation with a message listing the supported set.
+func TestUnsupportedSchemeRejected(t *testing.T) {
+	for _, scheme := range []string{"opt", "singlecore", "hydra-np", "partition-best-fit", "bogus"} {
+		if _, err := online.NewSystem("t", scheme, partition.BestFit, 2, nil, nil, nil); err == nil {
+			t.Fatalf("scheme %q must be rejected", scheme)
+		}
+	}
+	for _, scheme := range online.SupportedSchemes() {
+		if _, err := online.NewSystem("t", scheme, partition.BestFit, 2, nil, nil, nil); err != nil {
+			t.Fatalf("supported scheme %q rejected: %v", scheme, err)
+		}
+	}
+}
+
+// checkCommittedFeasible re-derives every committed security task's Eq. (6)
+// test from scratch (fresh folds, commit order) — the invariant every
+// mutation must preserve.
+func checkCommittedFeasible(t *testing.T, snap online.Snapshot) {
+	t.Helper()
+	perCore := make([][]rts.RTTask, snap.M)
+	for _, p := range snap.RT {
+		perCore[p.Core] = append(perCore[p.Core], p.Task)
+	}
+	loads := make([]rts.CoreLoad, snap.M)
+	for c := range perCore {
+		if !rts.CoreSchedulable(perCore[c]) {
+			t.Fatalf("core %d not RT-schedulable", c)
+		}
+		for _, task := range perCore[c] {
+			loads[c].AddRT(task)
+		}
+	}
+	for _, p := range snap.Sec {
+		if p.Task.C+loads[p.Core].LinearInterference(p.Period) > p.Period*(1+1e-6) {
+			t.Fatalf("security task %q violates Eq. 6 on core %d", p.Task.Name, p.Core)
+		}
+		loads[p.Core].AddPeriodic(p.Task.C, p.Period)
+	}
+}
+
+// TestChurnThenReallocateMatchesCold is the acceptance-criterion test: a
+// remove/readd/reallocate sequence lands on a committed state byte-identical
+// to a cold run of the scheme on the surviving taskset.
+func TestChurnThenReallocateMatchesCold(t *testing.T) {
+	w := baseWorkload(t, 2, 0.9, 3)
+	s, err := online.NewSystem("churn", "hydra", partition.BestFit, 2, w.RT, nil, w.Sec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	rng := stats.SplitRNG(7, 7)
+	added := 0
+	for op := 0; op < 60; op++ {
+		snap := s.Snapshot()
+		if len(snap.Sec) > 0 && rng.Float64() < 0.4 {
+			victim := snap.Sec[rng.Intn(len(snap.Sec))].Task.Name
+			if _, err := s.Remove(victim); err != nil {
+				t.Fatalf("remove %q: %v", victim, err)
+			}
+		} else {
+			tdes := 1000 + 2000*rng.Float64()
+			task := rts.SecurityTask{
+				Name: fmt.Sprintf("dyn%03d", op),
+				C:    (0.002 + 0.03*rng.Float64()) * tdes,
+				TDes: tdes,
+				TMax: 10 * tdes,
+			}
+			if _, err := s.AddSecurity(task); err != nil {
+				var rej *online.Rejection
+				if !errors.As(err, &rej) {
+					t.Fatalf("add: %v", err)
+				}
+			} else {
+				added++
+			}
+		}
+		checkCommittedFeasible(t, s.Snapshot())
+	}
+	if added == 0 {
+		t.Fatal("no dynamic task was ever admitted; test exercises nothing")
+	}
+	snap, err := s.Reallocate()
+	if err != nil {
+		t.Fatalf("reallocate: %v", err)
+	}
+	assertMatchesCold(t, snap)
+	checkCommittedFeasible(t, snap)
+	// A second reallocate is a fixed point: same committed state again.
+	again, err := s.Reallocate()
+	if err != nil {
+		t.Fatalf("second reallocate: %v", err)
+	}
+	again.Version = snap.Version
+	if fmt.Sprintf("%+v", again) != fmt.Sprintf("%+v", snap) {
+		t.Fatal("reallocate is not a fixed point")
+	}
+}
+
+// TestRemoveDistinguishesEqualValuedSecurityTasks: two distinct committed
+// security tasks sharing (C, adapted period) on one core — removing the
+// later one must keep the earlier one's commit-order position, so exact-RTA
+// probes stay bit-identical to a system that never saw the removed task.
+func TestRemoveDistinguishesEqualValuedSecurityTasks(t *testing.T) {
+	rt := []rts.RTTask{rts.NewRTTask("ctl", 2, 20)}
+	mk := func(name string) rts.SecurityTask {
+		return rts.SecurityTask{Name: name, C: 5, TDes: 500, TMax: 5000}
+	}
+	build := func(secs ...string) *online.System {
+		s, err := online.NewSystem("t", "hydra", partition.BestFit, 1, rt, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range secs {
+			if _, err := s.AddSecurity(mk(name)); err != nil {
+				t.Fatalf("add %s: %v", name, err)
+			}
+			// An in-between distinct task so the duplicates are not adjacent.
+			if name == "twin-a" {
+				if _, err := s.AddSecurity(rts.SecurityTask{Name: "mid", C: 3, TDes: 700, TMax: 7000}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return s
+	}
+	s := build("twin-a", "twin-b")
+	if _, err := s.Remove("twin-b"); err != nil {
+		t.Fatal(err)
+	}
+	ref := build("twin-a")
+	got, _ := json.Marshal(s.Snapshot().Sec)
+	want, _ := json.Marshal(ref.Snapshot().Sec)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after removing twin-b:\n%s\nwant\n%s", got, want)
+	}
+	// The committed analysis state must agree with the reference on further
+	// admissions (same folds, same interferer order).
+	pa, err1 := s.AddSecurity(rts.SecurityTask{Name: "probe", C: 4, TDes: 600, TMax: 6000})
+	pb, err2 := ref.AddSecurity(rts.SecurityTask{Name: "probe", C: 4, TDes: 600, TMax: 6000})
+	if (err1 == nil) != (err2 == nil) || pa.Core != pb.Core || pa.Period != pb.Period {
+		t.Fatalf("post-removal admission diverges: (%+v, %v) vs (%+v, %v)", pa, err1, pb, err2)
+	}
+}
+
+// TestPinnedPartitionHonored: a caller-pinned RT partition seeds the
+// committed placements verbatim (where the heuristic would choose
+// differently), and an unschedulable or malformed pin is rejected.
+func TestPinnedPartitionHonored(t *testing.T) {
+	rt := []rts.RTTask{rts.NewRTTask("a", 1, 10), rts.NewRTTask("b", 1, 10)}
+	s, err := online.NewSystem("t", "hydra", partition.BestFit, 2, rt, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.RT[0].Core != 0 || snap.RT[1].Core != 1 {
+		t.Fatalf("pinned placement not honored: %+v", snap.RT)
+	}
+	// Best-fit would have packed both on core 0; prove the pin overrode it.
+	auto, err := online.NewSystem("t", "hydra", partition.BestFit, 2, rt, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if autoSnap := auto.Snapshot(); autoSnap.RT[0].Core != autoSnap.RT[1].Core {
+		t.Fatalf("premise broken: heuristic no longer co-locates: %+v", autoSnap.RT)
+	}
+	// Unschedulable pin: two 60%-utilization tasks forced onto one core.
+	heavy := []rts.RTTask{rts.NewRTTask("x", 6, 10), rts.NewRTTask("y", 6, 10)}
+	if _, err := online.NewSystem("t", "hydra", partition.BestFit, 2, heavy, []int{0, 0}, nil); err == nil {
+		t.Fatal("unschedulable pinned partition must be rejected")
+	}
+	if _, err := online.NewSystem("t", "hydra", partition.BestFit, 2, rt, []int{0}, nil); err == nil {
+		t.Fatal("short pinned partition must be rejected")
+	}
+	if _, err := online.NewSystem("t", "hydra", partition.BestFit, 2, rt, []int{0, 5}, nil); err == nil {
+		t.Fatal("out-of-range pinned core must be rejected")
+	}
+}
+
+// TestRemoveRTColdReseed: removing a real-time task frees capacity that a
+// subsequent admission can use, and the committed folds match a from-scratch
+// derivation.
+func TestRemoveRTColdReseed(t *testing.T) {
+	rt := []rts.RTTask{
+		rts.NewRTTask("heavy", 6, 10),
+		rts.NewRTTask("light", 1, 100),
+	}
+	s, err := online.NewSystem("t", "hydra", partition.BestFit, 1, rt, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := rts.NewRTTask("probe", 5, 10)
+	if _, err := s.AddRT(probe); err == nil {
+		t.Fatal("probe must not fit while heavy is committed")
+	}
+	if _, err := s.Remove("heavy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddRT(probe); err != nil {
+		t.Fatalf("probe must fit after removal: %v", err)
+	}
+	if _, err := s.Remove("nope"); !errors.Is(err, online.ErrNotFound) {
+		t.Fatalf("removing an unknown task: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestAddRTGuardsCommittedSecurityPeriods: an RT arrival that would push a
+// committed (tightly adapted) security task past its period contract is
+// rejected with a structured verdict naming the task, and a reallocate
+// admits it by re-tuning the periods.
+func TestAddRTGuardsCommittedSecurityPeriods(t *testing.T) {
+	rt := []rts.RTTask{rts.NewRTTask("ctl", 5, 20)}
+	sec := []rts.SecurityTask{{Name: "tw", C: 50, TDes: 60, TMax: 10000}}
+	s, err := online.NewSystem("t", "hydra", partition.BestFit, 1, rt, nil, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Sec[0].Period <= snap.Sec[0].Task.TDes {
+		t.Fatalf("setup: expected a tightly adapted period, got %g", snap.Sec[0].Period)
+	}
+	_, err = s.AddRT(rts.NewRTTask("nav", 4, 40))
+	var rej *online.Rejection
+	if !errors.As(err, &rej) {
+		t.Fatalf("want *Rejection, got %v", err)
+	}
+	if rej.Kind != online.KindRT || len(rej.Cores) != 1 || rej.Cores[0].Core != 0 {
+		t.Fatalf("unexpected rejection shape: %+v", rej)
+	}
+	if want := `committed security task "tw"`; !bytes.Contains([]byte(rej.Cores[0].Reason), []byte(want)) {
+		t.Fatalf("verdict %q does not name the violated task", rej.Cores[0].Reason)
+	}
+}
+
+// TestSecurityRejectionStructured pins the per-core verdicts of a security
+// rejection.
+func TestSecurityRejectionStructured(t *testing.T) {
+	rt := []rts.RTTask{rts.NewRTTask("a", 9, 10), rts.NewRTTask("b", 9, 10)}
+	s, err := online.NewSystem("t", "hydra", partition.BestFit, 2, rt, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.AddSecurity(rts.SecurityTask{Name: "fat", C: 90, TDes: 100, TMax: 120})
+	var rej *online.Rejection
+	if !errors.As(err, &rej) {
+		t.Fatalf("want *Rejection, got %v", err)
+	}
+	if len(rej.Cores) != 2 || rej.Cores[0].Core != 0 || rej.Cores[1].Core != 1 {
+		t.Fatalf("want one verdict per core, got %+v", rej.Cores)
+	}
+	if rej.Version == 0 {
+		t.Fatal("rejection must carry its event version")
+	}
+}
+
+// opScript applies a deterministic op sequence; used twice to prove replay
+// determinism.
+func opScript(t *testing.T, s *online.System, seed int64) {
+	t.Helper()
+	rng := stats.SplitRNG(55, seed)
+	for op := 0; op < 40; op++ {
+		switch {
+		case op%7 == 3:
+			snap := s.Snapshot()
+			if len(snap.Sec) > 0 {
+				if _, err := s.Remove(snap.Sec[rng.Intn(len(snap.Sec))].Task.Name); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case op%11 == 5:
+			if _, err := s.Reallocate(); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			tdes := 1000 + 2000*rng.Float64()
+			task := rts.SecurityTask{
+				Name: fmt.Sprintf("dyn%03d", op),
+				C:    (0.002 + 0.02*rng.Float64()) * tdes,
+				TDes: tdes,
+				TMax: 10 * tdes,
+			}
+			_, err := s.AddSecurity(task)
+			var rej *online.Rejection
+			if err != nil && !errors.As(err, &rej) {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSerializedReplayDeterminism: the same op sequence on two fresh systems
+// produces byte-identical snapshots and event logs.
+func TestSerializedReplayDeterminism(t *testing.T) {
+	w := baseWorkload(t, 2, 0.8, 11)
+	run := func() ([]byte, []byte) {
+		s, err := online.NewSystem("replay", "hydra-least-loaded", partition.BestFit, 2, w.RT, nil, w.Sec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opScript(t, s, 1)
+		snap, _ := json.Marshal(s.Snapshot())
+		events, _ := s.EventsSince(0)
+		ev, _ := json.Marshal(events)
+		return snap, ev
+	}
+	snap1, ev1 := run()
+	snap2, ev2 := run()
+	if !bytes.Equal(snap1, snap2) {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", snap1, snap2)
+	}
+	if !bytes.Equal(ev1, ev2) {
+		t.Fatalf("event logs differ:\n%s\nvs\n%s", ev1, ev2)
+	}
+}
+
+// TestConcurrentAdmitsHammer fires concurrent adds/removes at one system
+// (run with -race): per-system locking must serialize them into a contiguous
+// monotone event log, duplicate names must collapse to exactly one admit,
+// and the final committed state must verify from scratch.
+func TestConcurrentAdmitsHammer(t *testing.T) {
+	w := baseWorkload(t, 2, 0.6, 21)
+	s, err := online.NewSystem("hammer", "hydra", partition.BestFit, 2, w.RT, nil, w.Sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Version()
+	const goroutines = 16
+	var admitsOfShared int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Everybody races to add the same task name...
+			if _, err := s.AddSecurity(rts.SecurityTask{Name: "shared", C: 0.5, TDes: 2000, TMax: 20000}); err == nil {
+				mu.Lock()
+				admitsOfShared++
+				mu.Unlock()
+			} else if !errors.Is(err, online.ErrDuplicateName) {
+				var rej *online.Rejection
+				if !errors.As(err, &rej) {
+					t.Errorf("goroutine %d: %v", g, err)
+				}
+			}
+			// ...then churns its own tasks.
+			name := fmt.Sprintf("g%02d", g)
+			if _, err := s.AddSecurity(rts.SecurityTask{Name: name, C: 0.2, TDes: 2500, TMax: 25000}); err == nil {
+				if _, err := s.Remove(name); err != nil {
+					t.Errorf("goroutine %d remove: %v", g, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if admitsOfShared != 1 {
+		t.Fatalf("shared task admitted %d times, want exactly 1", admitsOfShared)
+	}
+	events, _ := s.EventsSince(base)
+	for i := 1; i < len(events); i++ {
+		if events[i].Version != events[i-1].Version+1 {
+			t.Fatalf("event versions not contiguous: %d then %d", events[i-1].Version, events[i].Version)
+		}
+	}
+	if s.Version() != base+uint64(len(events)) {
+		t.Fatalf("version %d does not match %d logged events after %d", s.Version(), len(events), base)
+	}
+	checkCommittedFeasible(t, s.Snapshot())
+}
+
+// TestRegistryLifecycleAndCounters covers create/get/list/delete bookkeeping.
+func TestRegistryLifecycleAndCounters(t *testing.T) {
+	r := online.NewRegistry(2)
+	w := baseWorkload(t, 2, 0.6, 31)
+	a, err := r.Create("sys-a", "hydra", partition.BestFit, 2, w.RT, nil, w.Sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("sys-a", "hydra", partition.BestFit, 2, nil, nil, nil); err == nil {
+		t.Fatal("duplicate id must fail")
+	}
+	if _, err := r.Create("bad id!", "hydra", partition.BestFit, 2, nil, nil, nil); err == nil {
+		t.Fatal("invalid id must fail")
+	}
+	anon, err := r.Create("", "hydra", partition.BestFit, 2, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("overflow", "hydra", partition.BestFit, 2, nil, nil, nil); err == nil {
+		t.Fatal("registry bound must be enforced")
+	}
+	if got := r.List(); len(got) != 2 {
+		t.Fatalf("list: %d systems, want 2", len(got))
+	}
+	if _, ok := r.Get("sys-a"); !ok {
+		t.Fatal("get sys-a failed")
+	}
+	if _, err := a.AddSecurity(rts.SecurityTask{Name: "x", C: 0.5, TDes: 2000, TMax: 20000}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Delete(anon.ID()) || r.Delete(anon.ID()) {
+		t.Fatal("delete must succeed once")
+	}
+	c := r.Counters()
+	if c.Active != 1 || c.Created != 2 || c.Deleted != 1 || c.Admitted != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+	if c.Events == 0 {
+		t.Fatal("event counter not fed")
+	}
+}

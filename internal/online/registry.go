@@ -1,0 +1,179 @@
+package online
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+
+	"hydra/internal/partition"
+	"hydra/internal/rts"
+)
+
+// Counters aggregates registry activity for /v1/stats: gauges over the live
+// systems plus monotone decision counters fed by every hosted system's event
+// log (they keep counting for systems that are later deleted).
+type Counters struct {
+	Active        int    `json:"active"`
+	Created       uint64 `json:"created"`
+	Deleted       uint64 `json:"deleted"`
+	Admitted      uint64 `json:"admitted"`
+	Rejected      uint64 `json:"rejected"`
+	Removed       uint64 `json:"removed"`
+	Reallocations uint64 `json:"reallocations"`
+	Events        uint64 `json:"events"`
+}
+
+// Registry hosts the long-lived systems of one server process.
+type Registry struct {
+	mu      sync.Mutex
+	systems map[string]*System
+	max     int
+
+	created, deleted, admitted, rejected, removed, realloc, events uint64
+}
+
+// idPattern restricts caller-chosen system ids to path- and log-safe names.
+var idPattern = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// ErrSystemExists is returned by Create for an id already in use — a
+// conflict with existing state, not a malformed request.
+var ErrSystemExists = fmt.Errorf("online: system id already in use")
+
+// ErrRegistryFull is returned by Create when the live-system bound is
+// reached; the request is well-formed, capacity is the problem.
+var ErrRegistryFull = fmt.Errorf("online: registry full")
+
+// NewRegistry builds a registry bounded to max live systems (<= 0 selects 64).
+func NewRegistry(max int) *Registry {
+	if max <= 0 {
+		max = 64
+	}
+	return &Registry{systems: map[string]*System{}, max: max}
+}
+
+// Create builds a new system (see NewSystem) and registers it. An empty id
+// draws a random one; a caller-chosen id must match [a-zA-Z0-9._-]{1,64}
+// (starting alphanumeric) and be unused.
+func (r *Registry) Create(id, scheme string, h partition.Heuristic, m int, rt []rts.RTTask, part []int, sec []rts.SecurityTask) (*System, error) {
+	if id == "" {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return nil, err
+		}
+		id = hex.EncodeToString(b[:])
+	} else if !idPattern.MatchString(id) {
+		return nil, fmt.Errorf("online: invalid system id %q (want 1-64 chars of [a-zA-Z0-9._-], starting alphanumeric)", id)
+	}
+	r.mu.Lock()
+	if len(r.systems) >= r.max {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d systems); delete one first", ErrRegistryFull, r.max)
+	}
+	if _, dup := r.systems[id]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrSystemExists, id)
+	}
+	// Reserve the id while the (lock-free) cold allocation runs.
+	r.systems[id] = nil
+	r.mu.Unlock()
+
+	s, err := NewSystem(id, scheme, h, m, rt, part, sec)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		delete(r.systems, id)
+		return nil, err
+	}
+	s.onEvent = r.countEvent
+	r.events++ // NewSystem logged its create event before the sink was attached
+	r.systems[id] = s
+	r.created++
+	return s, nil
+}
+
+// countEvent folds one system event into the registry counters. It is called
+// under the emitting system's lock; it takes only the registry lock (lock
+// order: system before registry, never the reverse).
+func (r *Registry) countEvent(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events++
+	switch e.Type {
+	case EventAdmit:
+		r.admitted++
+	case EventReject:
+		r.rejected++
+	case EventRemove:
+		r.removed++
+	case EventReallocate:
+		r.realloc++
+	}
+}
+
+// Get returns the system with the given id.
+func (r *Registry) Get(id string) (*System, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.systems[id]
+	if s == nil {
+		return nil, false // reserved id mid-creation counts as absent
+	}
+	return s, ok
+}
+
+// Delete removes a system from the registry. Its in-flight operations finish
+// normally; watchers of its event stream observe no further events.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	s, ok := r.systems[id]
+	if !ok || s == nil {
+		r.mu.Unlock()
+		return false
+	}
+	delete(r.systems, id)
+	r.deleted++
+	r.mu.Unlock()
+	// Outside r.mu: the lock order is system before registry (countEvent),
+	// never the reverse.
+	s.Wake()
+	return true
+}
+
+// List returns the live systems sorted by id.
+func (r *Registry) List() []*System {
+	r.mu.Lock()
+	out := make([]*System, 0, len(r.systems))
+	for _, s := range r.systems {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+// Counters snapshots the registry counters.
+func (r *Registry) Counters() Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	active := 0
+	for _, s := range r.systems {
+		if s != nil {
+			active++
+		}
+	}
+	return Counters{
+		Active:        active,
+		Created:       r.created,
+		Deleted:       r.deleted,
+		Admitted:      r.admitted,
+		Rejected:      r.rejected,
+		Removed:       r.removed,
+		Reallocations: r.realloc,
+		Events:        r.events,
+	}
+}

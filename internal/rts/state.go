@@ -41,7 +41,16 @@ type coreState struct {
 	hp  []InterferingTask // exact-RTA interferers in seed/commit order
 	nRT int               // prefix of hp holding real-time tasks
 
-	tmp []Time // trial scratch for commit-time response updates
+	// seq logs the real-time tasks in seed/commit (arrival) order — the
+	// rebuild source for RemoveRT. Float folds (rt) and interference
+	// summation orders (hp) are arrival-order dependent, so a removal must
+	// replay the surviving arrivals in their original order to stay
+	// bit-identical to a state that never saw the removed task.
+	seq []RTTask
+
+	tmp       []Time            // trial scratch for commit-time response updates
+	reseedRT  []RTTask          // RemoveRT scratch: surviving RT arrivals
+	reseedSec []InterferingTask // RemoveRT scratch: committed security interferers
 
 	// trial memoizes the last successful TryAddRT on this core, so the
 	// AddRT that typically follows (the heuristics probe a core, pick it,
@@ -90,13 +99,19 @@ func (st *AnalysisState) Reset(m int) {
 	st.cores = st.cores[:m]
 	for c := range st.cores {
 		cs := &st.cores[c]
-		cs.rm = cs.rm[:0]
-		cs.resp = cs.resp[:0]
-		cs.hp = cs.hp[:0]
-		cs.nRT = 0
-		cs.rt = CoreLoad{}
-		cs.trial.valid = false
+		cs.clear()
 	}
+}
+
+// clear empties one core's committed state, retaining buffers.
+func (cs *coreState) clear() {
+	cs.rm = cs.rm[:0]
+	cs.resp = cs.resp[:0]
+	cs.hp = cs.hp[:0]
+	cs.nRT = 0
+	cs.rt = CoreLoad{}
+	cs.seq = cs.seq[:0]
+	cs.trial.valid = false
 }
 
 // M returns the number of cores.
@@ -232,6 +247,7 @@ func (st *AnalysisState) AddRT(c int, t RTTask) bool {
 	cs.hp[cs.nRT] = InterferingTask{C: t.C, T: t.T}
 	cs.nRT++
 	cs.rt.AddRT(t)
+	cs.seq = append(cs.seq, t)
 	return true
 }
 
@@ -260,6 +276,40 @@ func (st *AnalysisState) SeedRT(c int, t RTTask) {
 	cs.hp[cs.nRT] = InterferingTask{C: t.C, T: t.T}
 	cs.nRT++
 	cs.rt.AddRT(t)
+	cs.seq = append(cs.seq, t)
+}
+
+// RemoveRT evicts the first committed or seeded real-time task on core c
+// equal to t (all fields) and cold-reseeds the core: the surviving real-time
+// tasks are re-seeded in their original arrival order and the committed
+// security interferers are re-appended in commit order. Every derived
+// quantity — the load fold, the interference summation order, the response
+// times re-derived on demand — is therefore bit-identical to a state that
+// never saw t. All memoized response times on the core drop back to unknown
+// (a removal shrinks fixed points, so warm seeds would no longer be
+// from-below). It reports whether t was present; the state is unchanged when
+// it was not.
+func (st *AnalysisState) RemoveRT(c int, t RTTask) bool {
+	cs := &st.cores[c]
+	idx := -1
+	for i := range cs.seq {
+		if cs.seq[i] == t {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	cs.reseedRT = append(cs.reseedRT[:0], cs.seq[:idx]...)
+	cs.reseedRT = append(cs.reseedRT, cs.seq[idx+1:]...)
+	cs.reseedSec = append(cs.reseedSec[:0], cs.hp[cs.nRT:]...)
+	cs.clear()
+	for _, rt := range cs.reseedRT {
+		st.SeedRT(c, rt)
+	}
+	cs.hp = append(cs.hp, cs.reseedSec...)
+	return true
 }
 
 // CommitSecurity records a committed security task (WCET c, adapted period
@@ -267,6 +317,37 @@ func (st *AnalysisState) SeedRT(c int, t RTTask) {
 func (st *AnalysisState) CommitSecurity(core int, c, ts Time) {
 	cs := &st.cores[core]
 	cs.hp = append(cs.hp, InterferingTask{C: c, T: ts})
+}
+
+// RemoveSecurity evicts the ordinal-th (0-based, in commit order) committed
+// security interferer on core with the given WCET and period. The ordinal
+// matters when distinct tasks share (C, T): splicing the wrong duplicate
+// would keep an equal multiset but permute the commit order, and the exact
+// RTA's float fold is order-sensitive — the caller identifies which of the
+// equal entries its removed task actually is. The surviving interferers keep
+// their commit order, so the list is exactly the one a state that never
+// committed the task would hold (security commits carry no float-fold state
+// beyond the list itself). It reports whether a matching interferer was
+// present.
+func (st *AnalysisState) RemoveSecurity(core int, c, ts Time, ordinal int) bool {
+	cs := &st.cores[core]
+	seen := 0
+	for i := cs.nRT; i < len(cs.hp); i++ {
+		if cs.hp[i].C == c && cs.hp[i].T == ts {
+			if seen == ordinal {
+				cs.hp = append(cs.hp[:i], cs.hp[i+1:]...)
+				return true
+			}
+			seen++
+		}
+	}
+	return false
+}
+
+// SecurityCount returns the number of committed security interferers on core.
+func (st *AnalysisState) SecurityCount(core int) int {
+	cs := &st.cores[core]
+	return len(cs.hp) - cs.nRT
 }
 
 // SecurityResponseTime computes the exact ceiling-based response time of a

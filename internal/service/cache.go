@@ -12,30 +12,82 @@ package service
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"sync"
 
 	"hydra/internal/partition"
 	"hydra/internal/tasksetio"
 )
 
+// keyBufPool recycles the canonical-bytes scratch of Key: the cold request
+// path used to rebuild a JSON document per request just to feed the hash,
+// which the serving benchmarks showed costing about as much as the
+// allocation itself.
+var keyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
 // Key returns the canonical cache key of an allocation problem: the SHA-256
-// of the scheme name, the partition heuristic, and the canonical encoding of
-// the taskset (sorted tasks, normalized defaults — see Problem.Canonical).
-// The problem must already be in canonical form.
+// of the scheme name, the partition heuristic, and a compact binary encoding
+// of the canonical taskset (sorted tasks, normalized defaults — see
+// Problem.Canonical). The problem must already be in canonical form; the
+// canonical bytes are built once in a pooled buffer and hashed directly
+// instead of round-tripping through a JSON document.
 func Key(p *tasksetio.Problem, scheme string, h partition.Heuristic) string {
-	hash := sha256.New()
-	hash.Write([]byte(scheme))
-	hash.Write([]byte{0})
-	hash.Write([]byte(h.String()))
-	hash.Write([]byte{0})
-	if err := tasksetio.Encode(hash, p); err != nil {
-		// Encode to a hash never fails; a marshal error here would mean the
-		// model types stopped being JSON-encodable, which tests would catch.
-		panic("service: encode canonical taskset: " + err.Error())
+	bufp := keyBufPool.Get().(*[]byte)
+	buf := (*bufp)[:0]
+	buf = append(buf, scheme...)
+	buf = append(buf, 0)
+	buf = append(buf, h.String()...)
+	buf = append(buf, 0)
+	buf = appendCanonicalBytes(buf, p)
+	sum := sha256.Sum256(buf)
+	*bufp = buf
+	keyBufPool.Put(bufp)
+	return hex.EncodeToString(sum[:])
+}
+
+// appendCanonicalBytes serializes a canonical problem into an unambiguous
+// binary form (length-prefixed strings, IEEE-754 bit patterns): every field
+// that distinguishes two problems is covered, so equal bytes iff equal
+// canonical problems.
+func appendCanonicalBytes(buf []byte, p *tasksetio.Problem) []byte {
+	appendStr := func(s string) {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
 	}
-	return hex.EncodeToString(hash.Sum(nil))
+	appendF := func(f float64) {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	buf = binary.AppendUvarint(buf, uint64(p.M))
+	buf = binary.AppendUvarint(buf, uint64(len(p.RT)))
+	for _, t := range p.RT {
+		appendStr(t.Name)
+		appendF(t.C)
+		appendF(t.T)
+		appendF(t.D)
+	}
+	if p.RTPartition == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		for _, c := range p.RTPartition {
+			buf = binary.AppendUvarint(buf, uint64(c))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Sec)))
+	for _, s := range p.Sec {
+		appendStr(s.Name)
+		appendF(s.C)
+		appendF(s.TDes)
+		appendF(s.TMax)
+		appendF(s.EffectiveWeight())
+	}
+	return buf
 }
 
 // flight is one in-progress computation other requests can wait on.

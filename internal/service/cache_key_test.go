@@ -1,0 +1,83 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+
+	"hydra/internal/partition"
+	"hydra/internal/rts"
+	"hydra/internal/tasksetio"
+)
+
+// keyBase builds a fresh canonical-shaped problem for mutation testing.
+func keyBase() *tasksetio.Problem {
+	return &tasksetio.Problem{
+		M:           2,
+		RT:          []rts.RTTask{{Name: "a", C: 1, T: 10, D: 10}, {Name: "b", C: 2, T: 20, D: 20}},
+		RTPartition: []int{0, 1},
+		Sec:         []rts.SecurityTask{{Name: "s", C: 3, TDes: 100, TMax: 1000, Weight: 1}},
+	}
+}
+
+// TestCacheKeyCoversEveryProblemField is the drift tripwire for the
+// hand-rolled binary key encoding: the old path hashed the full JSON
+// document, so new Problem fields entered the key automatically;
+// appendCanonicalBytes must be taught each one by hand. Every semantic
+// mutation of every field must change the key, and the struct itself may
+// not grow without this test (and the encoder) being updated.
+func TestCacheKeyCoversEveryProblemField(t *testing.T) {
+	if n := reflect.TypeOf(tasksetio.Problem{}).NumField(); n != 4 {
+		t.Fatalf("tasksetio.Problem has %d fields, this test knows 4: teach appendCanonicalBytes the new field(s), add mutations below, then update this count", n)
+	}
+	mutations := map[string]func(p *tasksetio.Problem){
+		"M":       func(p *tasksetio.Problem) { p.M = 3 },
+		"RT.Name": func(p *tasksetio.Problem) { p.RT[0].Name = "z" },
+		"RT.C":    func(p *tasksetio.Problem) { p.RT[0].C = 1.5 },
+		"RT.T":    func(p *tasksetio.Problem) { p.RT[0].T = 11 },
+		"RT.D":    func(p *tasksetio.Problem) { p.RT[0].D = 9 },
+		"RT.append": func(p *tasksetio.Problem) {
+			p.RT = append(p.RT, rts.RTTask{Name: "c", C: 1, T: 30, D: 30})
+			p.RTPartition = append(p.RTPartition, 0)
+		},
+		"RTPartition": func(p *tasksetio.Problem) { p.RTPartition[1] = 0 },
+		"RTPart.nil":  func(p *tasksetio.Problem) { p.RTPartition = nil },
+		"Sec.Name":    func(p *tasksetio.Problem) { p.Sec[0].Name = "q" },
+		"Sec.C":       func(p *tasksetio.Problem) { p.Sec[0].C = 4 },
+		"Sec.TDes":    func(p *tasksetio.Problem) { p.Sec[0].TDes = 200 },
+		"Sec.TMax":    func(p *tasksetio.Problem) { p.Sec[0].TMax = 2000 },
+		"Sec.Weight":  func(p *tasksetio.Problem) { p.Sec[0].Weight = 2 },
+		"Sec.append": func(p *tasksetio.Problem) {
+			p.Sec = append(p.Sec, rts.SecurityTask{Name: "t", C: 1, TDes: 50, TMax: 500})
+		},
+		"arg.scheme":   nil, // handled below: Key args, not Problem fields
+		"arg.heuristc": nil,
+	}
+	baseKey := Key(keyBase(), "hydra", partition.BestFit)
+	seen := map[string]string{"<base>": baseKey}
+	for name, mutate := range mutations {
+		var key string
+		switch name {
+		case "arg.scheme":
+			key = Key(keyBase(), "singlecore", partition.BestFit)
+		case "arg.heuristc":
+			key = Key(keyBase(), "hydra", partition.FirstFit)
+		default:
+			p := keyBase()
+			mutate(p)
+			key = Key(p, "hydra", partition.BestFit)
+		}
+		if key == baseKey {
+			t.Errorf("mutation %q does not change the cache key — appendCanonicalBytes misses it", name)
+		}
+		for other, k := range seen {
+			if k == key {
+				t.Errorf("mutations %q and %q collide on the same key", name, other)
+			}
+		}
+		seen[name] = key
+	}
+	// Determinism: the same problem always hashes to the same key.
+	if again := Key(keyBase(), "hydra", partition.BestFit); again != baseKey {
+		t.Errorf("key not deterministic: %s vs %s", again, baseKey)
+	}
+}

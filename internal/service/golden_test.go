@@ -28,6 +28,31 @@ func TestGoldenResponses(t *testing.T) {
 	// registered test allocators, which is fine — goldens pin the shape).
 	fresh := newServer(t)
 
+	// Online systems: a deterministic decision sequence on fixed ids pins
+	// every /v1/systems endpoint's shape, including an admission rejection.
+	sysCreate := post(t, s, "/v1/systems", createSystemBody("golden"))
+	sysAdd := post(t, s, "/v1/systems/golden/tasks",
+		`{"security_task": {"name": "scan", "wcet_ms": 10, "desired_period_ms": 2000, "max_period_ms": 20000}}`)
+	tightCreate := post(t, s, "/v1/systems", `{"id": "golden-tight", "taskset": {
+	  "cores": 2,
+	  "rt_tasks": [
+	    {"name": "a", "wcet_ms": 80, "period_ms": 100},
+	    {"name": "b", "wcet_ms": 80, "period_ms": 100}
+	  ],
+	  "security_tasks": []
+	}}`)
+	if sysCreate.Code != 201 || sysAdd.Code != 200 || tightCreate.Code != 201 {
+		t.Fatalf("system setup: %d %d %d", sysCreate.Code, sysAdd.Code, tightCreate.Code)
+	}
+	sysReject := post(t, s, "/v1/systems/golden-tight/tasks",
+		`{"security_task": {"name": "fat", "wcet_ms": 90, "desired_period_ms": 100, "max_period_ms": 120}}`)
+	sysGet := get(t, s, "/v1/systems/golden")
+	sysList := get(t, s, "/v1/systems")
+	sysRemove := del(t, s, "/v1/systems/golden/tasks/scan")
+	sysRealloc := post(t, s, "/v1/systems/golden/reallocate", "")
+	sysEvents := get(t, s, "/v1/systems/golden/events")
+	sysDelete := del(t, s, "/v1/systems/golden-tight")
+
 	cases := []struct {
 		name string
 		got  []byte
@@ -38,6 +63,15 @@ func TestGoldenResponses(t *testing.T) {
 		{"simulate", post(t, s, "/v1/simulate", allocateBody(sampleTaskset, `"horizon_ms": 2000`)).Body.Bytes()},
 		{"schemes", get(t, fresh, "/v1/schemes").Body.Bytes()},
 		{"stats", get(t, fresh, "/v1/stats").Body.Bytes()},
+		{"systems_create", sysCreate.Body.Bytes()},
+		{"systems_add", sysAdd.Body.Bytes()},
+		{"systems_add_reject", sysReject.Body.Bytes()},
+		{"systems_get", sysGet.Body.Bytes()},
+		{"systems_list", sysList.Body.Bytes()},
+		{"systems_remove", sysRemove.Body.Bytes()},
+		{"systems_reallocate", sysRealloc.Body.Bytes()},
+		{"systems_events", sysEvents.Body.Bytes()},
+		{"systems_delete", sysDelete.Body.Bytes()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,18 +1,21 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
+	"sync"
 	"time"
 
 	"hydra/internal/core"
 	"hydra/internal/engine"
 	"hydra/internal/experiments"
 	"hydra/internal/jobs"
+	"hydra/internal/online"
 	"hydra/internal/partition"
 	"hydra/internal/sim"
 	"hydra/internal/tasksetio"
@@ -49,6 +52,9 @@ type Config struct {
 	// MaxJobs bounds concurrently running experiment campaigns; queued
 	// submissions wait for a slot. Zero or negative selects 2.
 	MaxJobs int
+	// MaxSystems bounds the long-lived online systems hosted under
+	// /v1/systems. Zero or negative selects 64.
+	MaxSystems int
 }
 
 // Server implements the allocation service. Create with New; it is an
@@ -58,6 +64,7 @@ type Server struct {
 	cfg       Config
 	cache     *Cache
 	jobs      *jobs.Manager
+	systems   *online.Registry
 	cold      latencyRecorder // allocate latency when the allocation actually ran
 	hot       latencyRecorder // allocate latency when served from cache
 	coalesced latencyRecorder // allocate latency when waiting on an identical in-flight run
@@ -79,12 +86,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		cache:  NewCache(cfg.CacheSize),
-		jobs:   mgr,
-		mux:    http.NewServeMux(),
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheSize),
+		jobs:    mgr,
+		systems: online.NewRegistry(cfg.MaxSystems),
+		mux:     http.NewServeMux(),
+		ctx:     ctx,
+		cancel:  cancel,
 	}
 	s.mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
 	s.mux.HandleFunc("POST /v1/allocate/batch", s.handleBatch)
@@ -96,6 +104,14 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/experiments/{id}/result", s.handleExperimentResult)
 	s.mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleExperimentEvents)
 	s.mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleExperimentCancel)
+	s.mux.HandleFunc("POST /v1/systems", s.handleSystemCreate)
+	s.mux.HandleFunc("GET /v1/systems", s.handleSystemList)
+	s.mux.HandleFunc("GET /v1/systems/{id}", s.handleSystemGet)
+	s.mux.HandleFunc("DELETE /v1/systems/{id}", s.handleSystemDelete)
+	s.mux.HandleFunc("POST /v1/systems/{id}/tasks", s.handleSystemAddTask)
+	s.mux.HandleFunc("DELETE /v1/systems/{id}/tasks/{task}", s.handleSystemRemoveTask)
+	s.mux.HandleFunc("POST /v1/systems/{id}/reallocate", s.handleSystemReallocate)
+	s.mux.HandleFunc("GET /v1/systems/{id}/events", s.handleSystemEvents)
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -220,6 +236,7 @@ type StatsResponse struct {
 	Cache    CacheStats      `json:"cache"`
 	Allocate AllocateLatency `json:"allocate_latency"`
 	Jobs     jobs.Counters   `json:"jobs"`
+	Systems  online.Counters `json:"systems"`
 }
 
 // errorResponse is the uniform error body.
@@ -227,16 +244,38 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// respBufPool recycles response-encoding buffers: every JSON response is
+// built by an encoder writing into a pooled buffer instead of MarshalIndent
+// allocating a fresh (and internally doubled) one per request.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeJSON renders v in the service's uniform shape (two-space indent,
+// trailing newline — byte-identical to the historical MarshalIndent path)
+// into a pooled buffer. The caller must releaseBuf it after use.
+func encodeJSON(v any) (*bytes.Buffer, error) {
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		respBufPool.Put(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+func releaseBuf(buf *bytes.Buffer) { respBufPool.Put(buf) }
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	body, err := json.MarshalIndent(v, "", "  ")
+	buf, err := encodeJSON(v)
 	if err != nil {
 		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
 		return
 	}
-	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_, _ = w.Write(body)
+	_, _ = w.Write(buf.Bytes())
+	releaseBuf(buf)
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -321,11 +360,14 @@ func computeAllocation(canon *tasksetio.Problem, alloc core.Allocator, h partiti
 			}
 		}
 	}
-	body, err := json.MarshalIndent(tasksetio.ResultToJSON(canon, res), "", "  ")
+	buf, err := encodeJSON(tasksetio.ResultToJSON(canon, res))
 	if err != nil {
 		return nil, err
 	}
-	return append(body, '\n'), nil
+	// The body escapes into the cache, so copy it out of the pooled buffer.
+	body := append([]byte(nil), buf.Bytes()...)
+	releaseBuf(buf)
+	return body, nil
 }
 
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
@@ -519,6 +561,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Hit:       s.hot.snapshot(),
 			Coalesced: s.coalesced.snapshot(),
 		},
-		Jobs: s.jobs.Counters(),
+		Jobs:    s.jobs.Counters(),
+		Systems: s.systems.Counters(),
 	})
 }
