@@ -10,6 +10,11 @@
 //
 //	benchjson -compare BENCH_baseline.json BENCH_new.json -tolerance 0.25
 //
+// ns/op gates lower-is-better; throughput metrics (req/s, from the load
+// smoke) gate higher-is-better — a drop below baseline*(1-tolerance) fails.
+// Other metric units (B/op, allocs/op, p99_ns, ...) are recorded but not
+// gated.
+//
 // Benchmarks present only in the new report are listed as untracked (new
 // code is not penalized); benchmarks that vanished are flagged but do not
 // fail the gate (renames happen — refresh the baseline instead).
@@ -100,9 +105,18 @@ func loadReport(path string) (map[string]Benchmark, error) {
 	return out, nil
 }
 
+// higherBetter lists metric units where larger values are improvements, so
+// the regression direction flips: a drop below old*(1-tolerance) fails. All
+// other units (B/op, allocs/op, p99_ns, ...) follow the default
+// lower-is-better direction like ns/op.
+var higherBetter = map[string]bool{
+	"req/s": true,
+}
+
 // compare gates newPath against the oldPath baseline: any benchmark tracked
 // by the baseline whose ns/op grew beyond old*(1+tolerance) is a regression
-// and fails the run.
+// and fails the run. Metric pairs tracked by both reports are gated too, in
+// the direction their unit implies (see higherBetter).
 func compare(oldPath, newPath string, tolerance float64, w io.Writer) error {
 	oldBench, err := loadReport(oldPath)
 	if err != nil {
@@ -139,6 +153,32 @@ func compare(oldPath, newPath string, tolerance float64, w io.Writer) error {
 		default:
 			fmt.Fprintf(w, "OK       %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
 				name, old.NsPerOp, cur.NsPerOp, (ratio-1)*100)
+		}
+		// Gate higher-is-better metrics tracked by both reports (req/s from
+		// the load smoke): a throughput drop is a regression even when mean
+		// latency stayed flat.
+		units := make([]string, 0, len(old.Metrics))
+		for unit := range old.Metrics {
+			if higherBetter[unit] {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			oldVal := old.Metrics[unit]
+			curVal, ok := cur.Metrics[unit]
+			if !ok || oldVal <= 0 {
+				continue
+			}
+			mRatio := curVal / oldVal
+			if mRatio < 1-tolerance {
+				fmt.Fprintf(w, "FAIL     %s: %.1f -> %.1f %s (%+.1f%%, tolerance -%.0f%%)\n",
+					name, oldVal, curVal, unit, (mRatio-1)*100, tolerance*100)
+				regressions = append(regressions, name+" "+unit)
+			} else {
+				fmt.Fprintf(w, "OK       %s: %.1f -> %.1f %s (%+.1f%%)\n",
+					name, oldVal, curVal, unit, (mRatio-1)*100)
+			}
 		}
 	}
 	untracked := make([]string, 0)

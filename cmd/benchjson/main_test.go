@@ -154,6 +154,68 @@ func TestCompareMissingAndUntracked(t *testing.T) {
 	}
 }
 
+// The higher-is-better direction: a req/s drop beyond tolerance fails even
+// when ns/op is flat, a req/s gain never fails, and the boundary mirrors the
+// ns/op one at baseline*(1-tolerance).
+func TestCompareThroughputHigherIsBetter(t *testing.T) {
+	base := writeReport(t, Benchmark{
+		Name: "BenchmarkLoadgenSmoke/cache-hit", NsPerOp: 100000,
+		Metrics: map[string]float64{"req/s": 1000, "p99_ns": 500000},
+	})
+
+	// 30% throughput drop at flat latency fails at 25% tolerance, naming the
+	// metric.
+	drop := writeReport(t, Benchmark{
+		Name: "BenchmarkLoadgenSmoke/cache-hit", NsPerOp: 100000,
+		Metrics: map[string]float64{"req/s": 700, "p99_ns": 500000},
+	})
+	var sb strings.Builder
+	err := cli([]string{"-compare", base, drop, "-tolerance", "0.25"}, nil, &sb)
+	if err == nil || !strings.Contains(err.Error(), "req/s") {
+		t.Fatalf("-30%% req/s must fail naming the metric, got %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL     BenchmarkLoadgenSmoke/cache-hit: 1000.0 -> 700.0 req/s") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+
+	// A large throughput GAIN passes — direction matters.
+	gain := writeReport(t, Benchmark{
+		Name: "BenchmarkLoadgenSmoke/cache-hit", NsPerOp: 100000,
+		Metrics: map[string]float64{"req/s": 3000},
+	})
+	if err := cli([]string{"-compare", base, gain, "-tolerance", "0.25"}, nil, &strings.Builder{}); err != nil {
+		t.Fatalf("+200%% req/s must pass: %v", err)
+	}
+
+	// Boundary: -24% passes at 0.25 tolerance, -26% fails.
+	okDrop := writeReport(t, Benchmark{
+		Name: "BenchmarkLoadgenSmoke/cache-hit", NsPerOp: 100000,
+		Metrics: map[string]float64{"req/s": 760},
+	})
+	if err := cli([]string{"-compare", base, okDrop, "-tolerance", "0.25"}, nil, &strings.Builder{}); err != nil {
+		t.Fatalf("-24%% req/s within 25%% tolerance must pass: %v", err)
+	}
+
+	// Lower-is-better units stay ungated beyond ns/op: a p99_ns blowup alone
+	// is recorded, not failed (short smoke runs are tail-noisy), while a
+	// simultaneous ns/op regression still fails on ns/op.
+	tailOnly := writeReport(t, Benchmark{
+		Name: "BenchmarkLoadgenSmoke/cache-hit", NsPerOp: 100000,
+		Metrics: map[string]float64{"req/s": 1000, "p99_ns": 5000000},
+	})
+	if err := cli([]string{"-compare", base, tailOnly, "-tolerance", "0.25"}, nil, &strings.Builder{}); err != nil {
+		t.Fatalf("p99_ns is not gated, must pass: %v", err)
+	}
+
+	// Baseline without the metric in the new report: skipped, not failed.
+	noMetric := writeReport(t, Benchmark{
+		Name: "BenchmarkLoadgenSmoke/cache-hit", NsPerOp: 100000,
+	})
+	if err := cli([]string{"-compare", base, noMetric, "-tolerance", "0.25"}, nil, &strings.Builder{}); err != nil {
+		t.Fatalf("missing req/s in new report must not fail: %v", err)
+	}
+}
+
 func TestCompareBadUsage(t *testing.T) {
 	base := writeReport(t, Benchmark{Name: "BenchmarkA", NsPerOp: 1})
 	cases := [][]string{

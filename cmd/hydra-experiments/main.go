@@ -229,7 +229,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "\n== Online churn: dynamic task arrival/departure (%s) ==\n", strings.Join(schemes, " vs "))
 		for _, m := range coreList {
-			pts, err := experiments.RunOnline(experiments.OnlineConfig{
+			res, err := experiments.RunOnline(experiments.OnlineConfig{
 				M: m, Schemes: schemes, SystemsPerCell: max(1, *tasksets/25),
 				Seed: *seed, Workers: *workers,
 			})
@@ -237,11 +237,14 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(stdout, "\n-- %d cores --\n", m)
-			tb := report.NewTable("scheme", "total_util", "depart_rate", "systems", "acceptance", "inc_us", "cold_us", "speedup")
-			for _, p := range pts {
-				tb.AddRowf("%s\t%s\t%s\t%d\t%s\t%.1f\t%.1f\t%.1fx",
+			// inc_us/cold_us/speedup come from the result's machine-relative
+			// timing section; everything left of them is seed-deterministic.
+			tb := report.NewTable("scheme", "total_util", "depart_rate", "systems", "acceptance", "cold_allocs", "inc_us", "cold_us", "speedup")
+			for i, p := range res.Points {
+				tm := res.Timing[i]
+				tb.AddRowf("%s\t%s\t%s\t%d\t%s\t%d\t%.1f\t%.1f\t%.1fx",
 					p.Scheme, report.F(p.TotalUtil), report.F(p.DepartRate), p.Systems,
-					report.F(p.AcceptanceRatio), p.IncrementalMeanUS, p.ColdMeanUS, p.SpeedupX)
+					report.F(p.AcceptanceRatio), p.ColdAllocations, tm.IncrementalMeanUS, tm.ColdMeanUS, tm.SpeedupX)
 			}
 			if err := emit(tb); err != nil {
 				return err

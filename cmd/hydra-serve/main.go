@@ -62,6 +62,7 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 	fs := flag.NewFlagSet("hydra-serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheSize := fs.Int("cache", 1024, "allocation result cache capacity (entries)")
+	cacheStripes := fs.Int("cache-stripes", 0, "independently locked result-cache stripes, rounded up to a power of two, max 256 (0 = GOMAXPROCS-derived default; 1 = the old single-mutex cache, for A/B load tests)")
 	workers := fs.Int("workers", 0, "default batch worker-pool width (0 = GOMAXPROCS)")
 	jobsDir := fs.String("jobs-dir", "", "experiment-campaign checkpoint directory; interrupted campaigns found there resume on startup (empty = fresh temp dir, campaigns do not survive the process)")
 	maxJobs := fs.Int("max-jobs", 2, "concurrently running experiment campaigns; further submissions queue")
@@ -70,9 +71,12 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *cacheStripes < 0 || *cacheStripes > 256 {
+		return fmt.Errorf("-cache-stripes must be in [0, 256] (0 = GOMAXPROCS-derived default), got %d", *cacheStripes)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := service.Config{CacheSize: *cacheSize, Workers: *workers, JobsDir: *jobsDir, MaxJobs: *maxJobs, MaxSystems: *maxSystems}
+	cfg := service.Config{CacheSize: *cacheSize, CacheStripes: *cacheStripes, Workers: *workers, JobsDir: *jobsDir, MaxJobs: *maxJobs, MaxSystems: *maxSystems}
 	return serve(ctx, *addr, cfg, *shutdownTimeout, logw, ready)
 }
 

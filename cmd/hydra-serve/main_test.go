@@ -355,4 +355,24 @@ func TestBadFlags(t *testing.T) {
 	if err := run([]string{"-addr", "256.256.256.256:99999"}, io.Discard, nil); err == nil {
 		t.Fatal("unlistenable address must error")
 	}
+	for _, stripes := range []string{"-1", "-17", "257", "100000"} {
+		err := run([]string{"-cache-stripes", stripes}, io.Discard, nil)
+		if err == nil {
+			t.Fatalf("-cache-stripes %s must error", stripes)
+		}
+		if !strings.Contains(err.Error(), "cache-stripes") {
+			t.Fatalf("-cache-stripes %s: error %q does not name the flag", stripes, err)
+		}
+	}
+}
+
+// TestCacheStripesFlagAccepted: valid stripe counts (including the explicit
+// single-mutex 1) come up and serve.
+func TestCacheStripesFlagAccepted(t *testing.T) {
+	base, errCh := startServer(t, "-cache-stripes", "1")
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz with -cache-stripes 1: %v %v", resp, err)
+	}
+	interrupt(t)
+	waitExit(t, errCh)
 }

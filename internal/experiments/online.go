@@ -72,7 +72,9 @@ func (c *OnlineConfig) withDefaults() OnlineConfig {
 }
 
 // OnlinePoint aggregates one (scheme, base utilization, departure rate)
-// churn sweep point.
+// churn sweep point. Every field is deterministic per seed — wall-clock
+// latencies live in the result's separate Timing section, so this part of
+// the result document is byte-stable across runs and machines.
 type OnlinePoint struct {
 	Scheme     string
 	TotalUtil  float64 // base-taskset utilization (absolute, = frac * M)
@@ -83,8 +85,22 @@ type OnlinePoint struct {
 	Admitted   int
 	Rejected   int
 	Removed    int
+	// ColdAllocations counts the timed cold full allocations (one every
+	// ColdEvery attempts) — the analysis-operation count behind the cold
+	// side of the timing comparison.
+	ColdAllocations int
 	// AcceptanceRatio is Admitted/Attempts.
 	AcceptanceRatio float64
+}
+
+// OnlineTiming is one point's wall-clock latency summary — machine-relative
+// by nature (it varies run to run and host to host), which is why it is kept
+// out of OnlinePoint. The identity fields mirror the Points entry at the
+// same index.
+type OnlineTiming struct {
+	Scheme     string
+	TotalUtil  float64
+	DepartRate float64
 	// IncrementalMeanUS is the mean wall-clock microseconds of one
 	// incremental AddSecurity admission on the warm system state.
 	IncrementalMeanUS float64
@@ -93,9 +109,15 @@ type OnlinePoint struct {
 	// sampled every ColdEvery attempts.
 	ColdMeanUS float64
 	// SpeedupX is ColdMeanUS / IncrementalMeanUS (0 when either is missing).
-	// Wall-clock fields vary run to run; every other field is deterministic
-	// per seed.
 	SpeedupX float64
+}
+
+// OnlineResult is the churn sweep's result document. Points is the
+// seed-deterministic (byte-stable) section; Timing is the machine-relative
+// section, index-aligned with Points.
+type OnlineResult struct {
+	Points []OnlinePoint  `json:"points"`
+	Timing []OnlineTiming `json:"timing"`
 }
 
 // onlineCellResult is one (scheme, util, rate, draw) cell outcome; exported
@@ -112,13 +134,13 @@ type onlineCellResult struct {
 }
 
 // RunOnline executes the churn sweep.
-func RunOnline(cfg OnlineConfig) ([]OnlinePoint, error) {
+func RunOnline(cfg OnlineConfig) (*OnlineResult, error) {
 	return runOnline(context.Background(), cfg, Hooks{})
 }
 
 // runOnline is the campaign-hooked driver behind RunOnline and the "online"
 // spec.
-func runOnline(ctx context.Context, cfg OnlineConfig, hooks Hooks) ([]OnlinePoint, error) {
+func runOnline(ctx context.Context, cfg OnlineConfig, hooks Hooks) (*OnlineResult, error) {
 	c := cfg.withDefaults()
 	for _, name := range c.Schemes {
 		if _, err := core.Resolve(name); err != nil {
@@ -158,7 +180,7 @@ func runOnline(ctx context.Context, cfg OnlineConfig, hooks Hooks) ([]OnlinePoin
 		return nil, fmt.Errorf("online: %w", err)
 	}
 
-	var points []OnlinePoint
+	out := &OnlineResult{}
 	i := 0
 	for s := range c.Schemes {
 		for u := range c.UtilFracs {
@@ -168,7 +190,11 @@ func runOnline(ctx context.Context, cfg OnlineConfig, hooks Hooks) ([]OnlinePoin
 					TotalUtil:  c.UtilFracs[u] * float64(c.M),
 					DepartRate: c.DepartRates[r],
 				}
-				var coldOps int
+				tm := OnlineTiming{
+					Scheme:     pt.Scheme,
+					TotalUtil:  pt.TotalUtil,
+					DepartRate: pt.DepartRate,
+				}
 				for t := 0; t < c.SystemsPerCell; t++ {
 					res := results[i]
 					i++
@@ -181,25 +207,26 @@ func runOnline(ctx context.Context, cfg OnlineConfig, hooks Hooks) ([]OnlinePoin
 					pt.Admitted += res.Admitted
 					pt.Rejected += res.Rejected
 					pt.Removed += res.Removed
-					pt.IncrementalMeanUS += float64(res.IncNS)
-					pt.ColdMeanUS += float64(res.ColdNS)
-					coldOps += res.ColdOps
+					pt.ColdAllocations += res.ColdOps
+					tm.IncrementalMeanUS += float64(res.IncNS)
+					tm.ColdMeanUS += float64(res.ColdNS)
 				}
 				if pt.Attempts > 0 {
 					pt.AcceptanceRatio = float64(pt.Admitted) / float64(pt.Attempts)
-					pt.IncrementalMeanUS /= float64(pt.Attempts) * 1e3
+					tm.IncrementalMeanUS /= float64(pt.Attempts) * 1e3
 				}
-				if coldOps > 0 {
-					pt.ColdMeanUS /= float64(coldOps) * 1e3
+				if pt.ColdAllocations > 0 {
+					tm.ColdMeanUS /= float64(pt.ColdAllocations) * 1e3
 				}
-				if pt.IncrementalMeanUS > 0 && pt.ColdMeanUS > 0 {
-					pt.SpeedupX = pt.ColdMeanUS / pt.IncrementalMeanUS
+				if tm.IncrementalMeanUS > 0 && tm.ColdMeanUS > 0 {
+					tm.SpeedupX = tm.ColdMeanUS / tm.IncrementalMeanUS
 				}
-				points = append(points, pt)
+				out.Points = append(out.Points, pt)
+				out.Timing = append(out.Timing, tm)
 			}
 		}
 	}
-	return points, nil
+	return out, nil
 }
 
 // runOnlineCell churns one system draw: create from a base workload, then

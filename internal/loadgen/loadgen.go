@@ -1,0 +1,535 @@
+// Package loadgen drives a live hydra-serve instance with a configurable
+// request mix at a target arrival rate and reports achieved throughput plus
+// latency quantiles — the measurement half of the "serves heavy traffic"
+// claim. It is the engine behind cmd/hydra-loadgen and the CI load smoke.
+//
+// The generator is open-loop and closed-duration: arrivals are scheduled by
+// wall clock at the target QPS regardless of how fast responses come back
+// (so a saturated server shows up as a growing backlog and rising latencies,
+// not as a silently throttled request rate), and the run stops after a fixed
+// duration. A target of zero selects closed-loop mode instead: every worker
+// fires continuously, measuring the server's saturation throughput.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydra/internal/stats"
+)
+
+// Request classes. Class names appear in reports, bench lines and flags.
+const (
+	ClassCacheHit     = "cache-hit"     // the same allocation problem every time: steady-state cache hit
+	ClassAllocateCold = "allocate-cold" // a unique problem every time: full decode+allocate+encode
+	ClassTryAdmit     = "try-admit"     // incremental admission probe against a long-lived system
+)
+
+// probeSystemID is the long-lived system the try-admit class probes.
+const probeSystemID = "loadgen-probe"
+
+// Mix is the request-class composition of the generated load, as relative
+// weights (they are normalized; zero everything selects pure cache hits).
+type Mix struct {
+	CacheHit     float64 `json:"cache_hit"`
+	AllocateCold float64 `json:"allocate_cold"`
+	TryAdmit     float64 `json:"try_admit"`
+}
+
+// normalized returns the mix as fractions summing to 1.
+func (m Mix) normalized() (Mix, error) {
+	if m.CacheHit < 0 || m.AllocateCold < 0 || m.TryAdmit < 0 {
+		return Mix{}, fmt.Errorf("loadgen: mix weights must be non-negative, got %+v", m)
+	}
+	total := m.CacheHit + m.AllocateCold + m.TryAdmit
+	if total == 0 {
+		return Mix{CacheHit: 1}, nil
+	}
+	return Mix{
+		CacheHit:     m.CacheHit / total,
+		AllocateCold: m.AllocateCold / total,
+		TryAdmit:     m.TryAdmit / total,
+	}, nil
+}
+
+// ParseMix parses the CLI mix syntax "hit=0.9,cold=0.05,admit=0.05" (weights
+// are relative; omitted classes are zero; empty selects pure cache hits).
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	if strings.TrimSpace(s) == "" {
+		return Mix{CacheHit: 1}, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("loadgen: bad mix component %q (want class=weight)", part)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(v), "%g", &w); err != nil {
+			return Mix{}, fmt.Errorf("loadgen: bad mix weight %q: %v", v, err)
+		}
+		if w < 0 {
+			return Mix{}, fmt.Errorf("loadgen: mix weight %q must be non-negative", part)
+		}
+		switch strings.TrimSpace(k) {
+		case "hit", ClassCacheHit:
+			m.CacheHit = w
+		case "cold", ClassAllocateCold:
+			m.AllocateCold = w
+		case "admit", ClassTryAdmit:
+			m.TryAdmit = w
+		default:
+			return Mix{}, fmt.Errorf("loadgen: unknown mix class %q (want hit, cold or admit)", k)
+		}
+	}
+	if m.CacheHit+m.AllocateCold+m.TryAdmit == 0 {
+		return Mix{}, fmt.Errorf("loadgen: mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+// Config parametrizes one load run.
+type Config struct {
+	// BaseURL is the target server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Duration is the fixed run length (closed duration). Minimum 1ms.
+	Duration time.Duration
+	// TargetQPS is the open-loop arrival rate. Zero or negative selects
+	// closed-loop mode: workers fire back to back, measuring saturation
+	// throughput.
+	TargetQPS float64
+	// Workers is the number of concurrent request senders (minimum 1,
+	// default 8 when zero).
+	Workers int
+	// Mix is the request-class composition.
+	Mix Mix
+	// Seed drives the class-selection stream (deterministic schedule of
+	// classes; wall-clock behavior of course is not deterministic).
+	Seed int64
+	// Timeout bounds one request (default 10s when zero).
+	Timeout time.Duration
+	// Client optionally overrides the HTTP client (the default is tuned for
+	// Workers persistent connections).
+	Client *http.Client
+}
+
+// ClassStats summarizes one request class of a run. Latencies are in
+// nanoseconds, quantiles over all completed requests of the class.
+type ClassStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	RPS    float64 `json:"rps"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  float64 `json:"p50_ns"`
+	P90NS  float64 `json:"p90_ns"`
+	P99NS  float64 `json:"p99_ns"`
+	P999NS float64 `json:"p999_ns"`
+	MaxNS  float64 `json:"max_ns"`
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	BaseURL     string  `json:"base_url"`
+	DurationSec float64 `json:"duration_sec"`
+	TargetQPS   float64 `json:"target_qps"` // 0 = closed loop
+	OpenLoop    bool    `json:"open_loop"`
+	Workers     int     `json:"workers"`
+	Mix         Mix     `json:"mix"`
+
+	// Sent counts requests actually issued; Completed those that returned an
+	// expected status in time; Errors unexpected statuses or transport
+	// failures; Backlog open-loop arrivals that could not be issued before
+	// the run ended (the saturation signal: sustained TargetQPS above the
+	// server's capacity makes this grow).
+	Sent      int `json:"sent"`
+	Completed int `json:"completed"`
+	Errors    int `json:"errors"`
+	Backlog   int `json:"backlog"`
+
+	// AchievedRPS is completed requests per second of run duration.
+	AchievedRPS float64 `json:"achieved_rps"`
+
+	Overall ClassStats            `json:"overall"`
+	Classes map[string]ClassStats `json:"classes"`
+}
+
+// workerState accumulates per-worker, contention-free.
+type workerState struct {
+	samples map[string][]float64 // class -> latency ns
+	errors  map[string]int
+	sent    int
+	backlog int
+}
+
+// Run executes one load run against cfg.BaseURL. The target must already be
+// serving; Run primes the cache-hit problem and creates the try-admit probe
+// system before the measured window starts.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	mix, err := cfg.Mix.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL required")
+	}
+	if cfg.Duration < time.Millisecond {
+		return nil, fmt.Errorf("loadgen: duration %v too short (minimum 1ms)", cfg.Duration)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        2 * workers,
+				MaxIdleConnsPerHost: 2 * workers,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	if err := setup(ctx, client, base, mix); err != nil {
+		return nil, err
+	}
+
+	// The open-loop arrival queue: the scheduler enqueues class tokens on
+	// the wall-clock schedule; workers drain. A bounded queue keeps memory
+	// flat when the server saturates — arrivals that cannot even be queued
+	// count into the backlog, exactly like the queued-but-never-issued ones.
+	queue := make(chan string, 16384)
+	var droppedArrivals atomic.Int64
+
+	states := make([]*workerState, workers)
+	for i := range states {
+		states[i] = &workerState{samples: map[string][]float64{}, errors: map[string]int{}}
+	}
+
+	var coldSeq atomic.Int64
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	runCtx, cancel := context.WithDeadline(ctx, deadline.Add(timeout))
+	defer cancel()
+
+	var wg sync.WaitGroup
+	openLoop := cfg.TargetQPS > 0
+	if openLoop {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(queue)
+			schedule(runCtx, queue, &droppedArrivals, mix, cfg.TargetQPS, cfg.Seed, start, deadline)
+		}()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := states[w]
+			rng := stats.SplitRNG(cfg.Seed, int64(w)+1)
+			for {
+				var class string
+				if openLoop {
+					c, ok := <-queue
+					if !ok {
+						return
+					}
+					if time.Now().After(deadline) {
+						st.backlog++
+						continue
+					}
+					class = c
+				} else {
+					if time.Now().After(deadline) || runCtx.Err() != nil {
+						return
+					}
+					class = pickClass(rng, mix)
+				}
+				st.sent++
+				elapsed, ok := issue(runCtx, client, base, class, &coldSeq)
+				if ok {
+					st.samples[class] = append(st.samples[class], float64(elapsed.Nanoseconds()))
+				} else {
+					st.errors[class]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	actual := time.Since(start)
+
+	return summarize(cfg, mix, base, openLoop, workers, actual, states, int(droppedArrivals.Load())), nil
+}
+
+// schedule produces the open-loop arrival stream: class tokens at the target
+// rate on the wall clock, independent of response completions.
+func schedule(ctx context.Context, queue chan<- string, dropped *atomic.Int64, mix Mix, qps float64, seed int64, start, deadline time.Time) {
+	rng := stats.SplitRNG(seed, 0)
+	interval := time.Duration(float64(time.Second) / qps)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	next := time.Duration(0)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			return
+		}
+		elapsed := now.Sub(start)
+		for next <= elapsed {
+			select {
+			case queue <- pickClass(rng, mix):
+			default:
+				dropped.Add(1)
+			}
+			next += interval
+		}
+		if sleep := next - time.Since(start); sleep > 0 {
+			if sleep > time.Millisecond {
+				sleep = time.Millisecond
+			}
+			time.Sleep(sleep)
+		}
+	}
+}
+
+// pickClass draws one request class from the mix.
+func pickClass(rng *rand.Rand, mix Mix) string {
+	r := rng.Float64()
+	switch {
+	case r < mix.CacheHit:
+		return ClassCacheHit
+	case r < mix.CacheHit+mix.AllocateCold:
+		return ClassAllocateCold
+	default:
+		return ClassTryAdmit
+	}
+}
+
+// hitTaskset is the fixed allocation problem of the cache-hit class (primed
+// once during setup, then answered from the result cache forever).
+const hitTaskset = `{
+  "cores": 2,
+  "rt_tasks": [
+    {"name": "ctl", "wcet_ms": 5, "period_ms": 20},
+    {"name": "nav", "wcet_ms": 30, "period_ms": 100}
+  ],
+  "security_tasks": [
+    {"name": "tw", "wcet_ms": 50, "desired_period_ms": 1000, "max_period_ms": 10000},
+    {"name": "bro", "wcet_ms": 30, "desired_period_ms": 500, "max_period_ms": 5000}
+  ]
+}`
+
+var hitBody = fmt.Sprintf(`{"taskset": %s}`, hitTaskset)
+
+// coldBody yields a problem made unique by n, defeating the cache so the
+// request takes the full decode+allocate+verify+encode path.
+func coldBody(n int64) string {
+	return fmt.Sprintf(`{"taskset": {
+  "cores": 2,
+  "rt_tasks": [
+    {"name": "ctl", "wcet_ms": 5, "period_ms": 20},
+    {"name": "nav", "wcet_ms": 30, "period_ms": 100}
+  ],
+  "security_tasks": [
+    {"name": "tw", "wcet_ms": 50, "desired_period_ms": 1000, "max_period_ms": %d},
+    {"name": "bro", "wcet_ms": 30, "desired_period_ms": 500, "max_period_ms": 5000}
+  ]
+}}`, 100000+n)
+}
+
+// probeSystemBody creates the tight long-lived system the try-admit class
+// probes: both cores are nearly full, so the probe task below is analyzed
+// incrementally and rejected every time — a pure, state-stable admission
+// workload (an admitted probe would mutate the system and skew later
+// requests).
+const probeSystemBody = `{"id": "` + probeSystemID + `", "taskset": {
+  "cores": 2,
+  "rt_tasks": [
+    {"name": "a", "wcet_ms": 80, "period_ms": 100},
+    {"name": "b", "wcet_ms": 80, "period_ms": 100}
+  ],
+  "security_tasks": []
+}}`
+
+const probeTaskBody = `{"security_task": {"name": "probe", "wcet_ms": 90, "desired_period_ms": 100, "max_period_ms": 120}}`
+
+// setup primes the cache-hit entry and creates the try-admit probe system
+// (idempotent: an already existing probe system from a previous run is fine).
+func setup(ctx context.Context, client *http.Client, base string, mix Mix) error {
+	if mix.CacheHit > 0 {
+		status, err := doPost(ctx, client, base+"/v1/allocate", hitBody)
+		if err != nil {
+			return fmt.Errorf("loadgen: prime cache-hit problem: %w", err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("loadgen: prime cache-hit problem: status %d", status)
+		}
+	}
+	if mix.TryAdmit > 0 {
+		status, err := doPost(ctx, client, base+"/v1/systems", probeSystemBody)
+		if err != nil {
+			return fmt.Errorf("loadgen: create probe system: %w", err)
+		}
+		// 409 = already exists from a previous run against the same server.
+		if status != http.StatusCreated && status != http.StatusConflict {
+			return fmt.Errorf("loadgen: create probe system: status %d", status)
+		}
+	}
+	return nil
+}
+
+// issue sends one request of the class and reports its latency and whether
+// the response status was expected.
+func issue(ctx context.Context, client *http.Client, base, class string, coldSeq *atomic.Int64) (time.Duration, bool) {
+	var (
+		url    string
+		body   string
+		okFunc func(int) bool
+	)
+	switch class {
+	case ClassCacheHit:
+		url, body = base+"/v1/allocate", hitBody
+		okFunc = func(s int) bool { return s == http.StatusOK }
+	case ClassAllocateCold:
+		url, body = base+"/v1/allocate", coldBody(coldSeq.Add(1))
+		okFunc = func(s int) bool { return s == http.StatusOK }
+	default: // ClassTryAdmit
+		url, body = base+"/v1/systems/"+probeSystemID+"/tasks", probeTaskBody
+		// The probe is built to be rejected; 409 is the expected verdict and
+		// 200 tolerated (a differently shaped target system).
+		okFunc = func(s int) bool { return s == http.StatusConflict || s == http.StatusOK }
+	}
+	start := time.Now()
+	status, err := doPost(ctx, client, url, body)
+	elapsed := time.Since(start)
+	return elapsed, err == nil && okFunc(status)
+}
+
+// doPost posts a JSON body and drains the response.
+func doPost(ctx context.Context, client *http.Client, url, body string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// summarize merges the per-worker states into the final report.
+func summarize(cfg Config, mix Mix, base string, openLoop bool, workers int, actual time.Duration, states []*workerState, droppedArrivals int) *Report {
+	rep := &Report{
+		BaseURL:     base,
+		DurationSec: actual.Seconds(),
+		TargetQPS:   cfg.TargetQPS,
+		OpenLoop:    openLoop,
+		Workers:     workers,
+		Mix:         mix,
+		Backlog:     droppedArrivals,
+		Classes:     map[string]ClassStats{},
+	}
+	merged := map[string][]float64{}
+	errors := map[string]int{}
+	for _, st := range states {
+		rep.Sent += st.sent
+		rep.Backlog += st.backlog
+		for class, s := range st.samples {
+			merged[class] = append(merged[class], s...)
+		}
+		for class, n := range st.errors {
+			errors[class] += n
+		}
+	}
+	var all []float64
+	classes := make([]string, 0, len(merged))
+	for class := range merged {
+		classes = append(classes, class)
+	}
+	for class := range errors {
+		if _, ok := merged[class]; !ok {
+			classes = append(classes, class)
+		}
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		samples := merged[class]
+		rep.Classes[class] = classStats(samples, errors[class], actual)
+		rep.Completed += len(samples)
+		rep.Errors += errors[class]
+		all = append(all, samples...)
+	}
+	rep.Overall = classStats(all, rep.Errors, actual)
+	rep.AchievedRPS = float64(rep.Completed) / actual.Seconds()
+	return rep
+}
+
+// classStats computes one class's latency summary.
+func classStats(samples []float64, errs int, actual time.Duration) ClassStats {
+	out := ClassStats{Count: len(samples), Errors: errs}
+	if len(samples) == 0 {
+		return out
+	}
+	out.RPS = float64(len(samples)) / actual.Seconds()
+	e := stats.NewECDF(samples)
+	out.MeanNS = e.Mean()
+	out.P50NS = e.Quantile(0.5)
+	out.P90NS = e.Quantile(0.9)
+	out.P99NS = e.Quantile(0.99)
+	out.P999NS = e.Quantile(0.999)
+	out.MaxNS = e.Max()
+	return out
+}
+
+// BenchLines renders the report as `go test -bench`-shaped result lines that
+// cmd/benchjson parses, one per non-empty class plus an overall line:
+//
+//	Benchmark<name>/cache-hit  <count>  <mean> ns/op  <rps> req/s  <p50> p50_ns  <p99> p99_ns  <p999> p999_ns
+//
+// ns/op is the class's mean latency (lower is better, gated like any other
+// benchmark); req/s is gated as higher-is-better by benchjson -compare.
+func (r *Report) BenchLines(name string) string {
+	var b strings.Builder
+	classes := make([]string, 0, len(r.Classes))
+	for class := range r.Classes {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		cs := r.Classes[class]
+		if cs.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "Benchmark%s/%s \t %d \t %.0f ns/op \t %.1f req/s \t %.0f p50_ns \t %.0f p99_ns \t %.0f p999_ns\n",
+			name, class, cs.Count, cs.MeanNS, cs.RPS, cs.P50NS, cs.P99NS, cs.P999NS)
+	}
+	if r.Overall.Count > 0 && len(classes) > 1 {
+		fmt.Fprintf(&b, "Benchmark%s/overall \t %d \t %.0f ns/op \t %.1f req/s \t %.0f p50_ns \t %.0f p99_ns \t %.0f p999_ns\n",
+			name, r.Overall.Count, r.Overall.MeanNS, r.Overall.RPS, r.Overall.P50NS, r.Overall.P99NS, r.Overall.P999NS)
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hydra/internal/service"
+)
+
+// startTarget serves a fresh in-process service over a real listener.
+func startTarget(t *testing.T) string {
+	t.Helper()
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestClosedLoopMixedRun drives a short closed-loop run with all three
+// classes and sanity-checks the report's accounting and quantile ordering.
+func TestClosedLoopMixedRun(t *testing.T) {
+	url := startTarget(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  url,
+		Duration: 300 * time.Millisecond,
+		Workers:  4,
+		Mix:      Mix{CacheHit: 0.6, AllocateCold: 0.2, TryAdmit: 0.2},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OpenLoop {
+		t.Fatal("TargetQPS 0 must select closed-loop mode")
+	}
+	if rep.Completed == 0 || rep.AchievedRPS <= 0 {
+		t.Fatalf("no completed requests: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("unexpected errors: %+v", rep)
+	}
+	if rep.Sent != rep.Completed+rep.Errors {
+		t.Fatalf("sent(%d) != completed(%d)+errors(%d)", rep.Sent, rep.Completed, rep.Errors)
+	}
+	for _, class := range []string{ClassCacheHit, ClassAllocateCold, ClassTryAdmit} {
+		cs, ok := rep.Classes[class]
+		if !ok || cs.Count == 0 {
+			t.Fatalf("class %s absent from report: %+v", class, rep.Classes)
+		}
+		if !(cs.P50NS <= cs.P90NS && cs.P90NS <= cs.P99NS && cs.P99NS <= cs.P999NS && cs.P999NS <= cs.MaxNS) {
+			t.Fatalf("class %s quantiles not monotone: %+v", class, cs)
+		}
+		if cs.MeanNS <= 0 {
+			t.Fatalf("class %s mean not positive: %+v", class, cs)
+		}
+	}
+	var total int
+	for _, cs := range rep.Classes {
+		total += cs.Count
+	}
+	if total != rep.Overall.Count || total != rep.Completed {
+		t.Fatalf("class counts (%d) != overall (%d) != completed (%d)", total, rep.Overall.Count, rep.Completed)
+	}
+}
+
+// TestOpenLoopHitsTargetRate: well below saturation, the open-loop generator
+// achieves (approximately) the requested rate and leaves no backlog.
+func TestOpenLoopHitsTargetRate(t *testing.T) {
+	url := startTarget(t)
+	const qps = 200.0
+	rep, err := Run(context.Background(), Config{
+		BaseURL:   url,
+		Duration:  500 * time.Millisecond,
+		TargetQPS: qps,
+		Workers:   4,
+		Mix:       Mix{CacheHit: 1},
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OpenLoop {
+		t.Fatal("TargetQPS > 0 must select open-loop mode")
+	}
+	// ~100 arrivals expected; allow generous scheduling slop in both
+	// directions but catch order-of-magnitude failures.
+	if rep.Completed < 50 || rep.Completed > 150 {
+		t.Fatalf("completed %d requests at %g qps over 500ms, want roughly 100", rep.Completed, qps)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors: %+v", rep)
+	}
+}
+
+// TestBenchLines: the bench output parses as benchmark result lines with the
+// req/s and quantile metrics benchjson consumes.
+func TestBenchLines(t *testing.T) {
+	url := startTarget(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  url,
+		Duration: 150 * time.Millisecond,
+		Workers:  2,
+		Mix:      Mix{CacheHit: 1, TryAdmit: 1},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.BenchLines("LoadgenSmoke")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 { // two classes + overall
+		t.Fatalf("want >= 3 bench lines, got %d:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "BenchmarkLoadgenSmoke/") {
+			t.Fatalf("line %q lacks the benchmark prefix", line)
+		}
+		for _, unit := range []string{"ns/op", "req/s", "p50_ns", "p99_ns", "p999_ns"} {
+			if !strings.Contains(line, unit) {
+				t.Fatalf("line %q lacks %s", line, unit)
+			}
+		}
+	}
+}
+
+// TestConfigValidation: nonsense configurations fail fast.
+func TestConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{Duration: time.Second}); err == nil {
+		t.Fatal("missing BaseURL must error")
+	}
+	if _, err := Run(ctx, Config{BaseURL: "http://x", Duration: 0}); err == nil {
+		t.Fatal("zero duration must error")
+	}
+	if _, err := Run(ctx, Config{BaseURL: "http://x", Duration: time.Second, Mix: Mix{CacheHit: -1}}); err == nil {
+		t.Fatal("negative mix weight must error")
+	}
+}
+
+// TestParseMix pins the CLI mix syntax.
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("hit=0.9,cold=0.05,admit=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{CacheHit: 0.9, AllocateCold: 0.05, TryAdmit: 0.05}) {
+		t.Fatalf("parsed %+v", m)
+	}
+	if m, err := ParseMix(""); err != nil || m != (Mix{CacheHit: 1}) {
+		t.Fatalf("empty mix: %+v %v", m, err)
+	}
+	if m, err := ParseMix("cache-hit=2,try-admit=1"); err != nil || m != (Mix{CacheHit: 2, TryAdmit: 1}) {
+		t.Fatalf("long names: %+v %v", m, err)
+	}
+	for _, bad := range []string{"hit", "hit=x", "bogus=1", "hit=-1", "hit=0,cold=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// hashedKey builds a realistic cache key (hex SHA-256) from a label, the
+// same shape Key produces, so the stripe selector exercises its real path.
+func hashedKey(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestStripedCacheHammer drives 32 goroutines over overlapping keys and pins
+// the striped cache's contracts: exactly one computation per unique key
+// (singleflight preserved across stripes), per-stripe counters that sum
+// losslessly to the totals Stats reports, and contiguous eviction accounting
+// (inserts = entries + evictions). Run with -race.
+func TestStripedCacheHammer(t *testing.T) {
+	const (
+		goroutines = 32
+		uniqueKeys = 48
+		rounds     = 64
+	)
+	c := NewCacheStriped(16, 8) // small capacity so evictions actually happen
+	if c.Stripes() != 8 {
+		t.Fatalf("stripes = %d, want 8", c.Stripes())
+	}
+
+	keys := make([]string, uniqueKeys)
+	for i := range keys {
+		keys[i] = hashedKey(fmt.Sprintf("key-%03d", i))
+	}
+	var computed [uniqueKeys]atomic.Int64
+	var inFlightComputes [uniqueKeys]atomic.Int64
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Overlapping access pattern: every goroutine walks the key
+				// space at its own phase, so identical keys race constantly.
+				i := (g*7 + r) % uniqueKeys
+				val, _, err := c.Do(keys[i], func() ([]byte, error) {
+					if n := inFlightComputes[i].Add(1); n != 1 {
+						t.Errorf("key %d: %d concurrent computations", i, n)
+					}
+					defer inFlightComputes[i].Add(-1)
+					computed[i].Add(1)
+					return []byte(fmt.Sprintf("value-%03d", i)), nil
+				})
+				if err != nil {
+					t.Errorf("Do(%d): %v", i, err)
+					return
+				}
+				if want := fmt.Sprintf("value-%03d", i); string(val) != want {
+					t.Errorf("key %d returned %q, want %q", i, val, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Never more than one computation at a time per key; with a cache larger
+	// than zero, every key computes at least once.
+	var totalComputes uint64
+	for i := range computed {
+		n := computed[i].Load()
+		if n < 1 {
+			t.Errorf("key %d never computed", i)
+		}
+		totalComputes += uint64(n)
+	}
+
+	total := c.Stats()
+	perStripe := c.StripeStats()
+	if len(perStripe) != c.Stripes() {
+		t.Fatalf("StripeStats returned %d stripes, want %d", len(perStripe), c.Stripes())
+	}
+	var summed CacheStats
+	for _, st := range perStripe {
+		summed.add(st)
+	}
+	if summed != total {
+		t.Fatalf("per-stripe counters do not sum to totals:\nsum    %+v\ntotals %+v", summed, total)
+	}
+
+	// Counter book-keeping: every Do is a hit, a miss or a coalesced wait;
+	// misses equal actual computations; eviction accounting is contiguous
+	// (every successful computation was inserted, and every insert is either
+	// still resident or was evicted).
+	if got, want := total.Hits+total.Misses+total.Coalesced, uint64(goroutines*rounds); got != want {
+		t.Fatalf("hits+misses+coalesced = %d, want %d", got, want)
+	}
+	if total.Misses != totalComputes {
+		t.Fatalf("misses = %d, computations = %d", total.Misses, totalComputes)
+	}
+	if uint64(total.Entries)+total.Evictions != total.Misses {
+		t.Fatalf("entries(%d) + evictions(%d) != inserts(%d)", total.Entries, total.Evictions, total.Misses)
+	}
+	if total.Entries > total.Capacity {
+		t.Fatalf("entries %d exceed capacity %d", total.Entries, total.Capacity)
+	}
+	for i, st := range perStripe {
+		if st.Entries > st.Capacity {
+			t.Fatalf("stripe %d: entries %d exceed capacity %d", i, st.Entries, st.Capacity)
+		}
+	}
+}
+
+// TestStripedCacheStatsMatchServiceTotals pins that the totals /v1/stats
+// reports are exactly the lossless sum of the per-stripe counters after
+// concurrent load through the full HTTP path.
+func TestStripedCacheStatsMatchServiceTotals(t *testing.T) {
+	s := newServer(t)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 8; r++ {
+				// A few distinct problems plus repeats: hits, misses and
+				// coalesced waits all occur.
+				body := allocateBody(sampleTaskset, "")
+				if g%2 == 0 {
+					body = allocateBody(fmt.Sprintf(`{
+					  "cores": 2,
+					  "rt_tasks": [{"name": "ctl", "wcet_ms": 5, "period_ms": %d}],
+					  "security_tasks": [{"name": "tw", "wcet_ms": 50, "desired_period_ms": 1000, "max_period_ms": 10000}]
+					}`, 20+r), "")
+				}
+				if w := post(t, s, "/v1/allocate", body); w.Code != 200 {
+					t.Errorf("status %d: %s", w.Code, w.Body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var st StatsResponse
+	if err := json.Unmarshal(get(t, s, "/v1/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	var summed CacheStats
+	for _, stripe := range s.cache.StripeStats() {
+		summed.add(stripe)
+	}
+	if summed != st.Cache {
+		t.Fatalf("/v1/stats cache counters != per-stripe sum:\nstats %+v\nsum   %+v", st.Cache, summed)
+	}
+	if st.Cache.Hits+st.Cache.Misses+st.Cache.Coalesced != goroutines*8 {
+		t.Fatalf("request accounting off: %+v", st.Cache)
+	}
+}
+
+// TestCacheStripesConfigValidation pins the Config.CacheStripes contract:
+// zero selects the GOMAXPROCS-derived default, in-range values are rounded
+// up to a power of two, and out-of-range values fail construction with a
+// clear error.
+func TestCacheStripesConfigValidation(t *testing.T) {
+	for _, bad := range []int{-1, -100, maxCacheStripes + 1} {
+		if _, err := New(Config{CacheStripes: bad}); err == nil {
+			t.Errorf("CacheStripes=%d: want construction error", bad)
+		}
+	}
+	s, err := New(Config{CacheStripes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.cache.Stripes(); got != 4 {
+		t.Fatalf("CacheStripes=3 rounded to %d stripes, want 4", got)
+	}
+	d, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if got, want := d.cache.Stripes(), DefaultCacheStripes(); got != want {
+		t.Fatalf("default stripes = %d, want %d", got, want)
+	}
+}

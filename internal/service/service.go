@@ -42,6 +42,10 @@ type Config struct {
 	// CacheSize bounds the allocation result cache (entries). Zero or
 	// negative selects 1024.
 	CacheSize int
+	// CacheStripes is the number of independently locked result-cache
+	// stripes (rounded up to a power of two, max 256). Zero selects a
+	// GOMAXPROCS-derived default (DefaultCacheStripes); negative is invalid.
+	CacheStripes int
 	// Workers is the default worker-pool width for batch requests that leave
 	// workers unset. Zero selects GOMAXPROCS.
 	Workers int
@@ -80,6 +84,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 1024
 	}
+	if cfg.CacheStripes < 0 || cfg.CacheStripes > maxCacheStripes {
+		return nil, fmt.Errorf("service: cache stripes must be in [0, %d] (0 = GOMAXPROCS-derived default), got %d", maxCacheStripes, cfg.CacheStripes)
+	}
 	mgr, err := jobs.NewManager(cfg.JobsDir, cfg.MaxJobs)
 	if err != nil {
 		return nil, fmt.Errorf("service: open jobs dir: %w", err)
@@ -87,7 +94,7 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
-		cache:   NewCache(cfg.CacheSize),
+		cache:   NewCacheStriped(cfg.CacheSize, cfg.CacheStripes),
 		jobs:    mgr,
 		systems: online.NewRegistry(cfg.MaxSystems),
 		mux:     http.NewServeMux(),
@@ -282,9 +289,23 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeRequest strictly parses a JSON request body into v.
+// bodyBufPool recycles request-body decode buffers for the hot POST
+// endpoints (allocate, batch, system task admission): the body is drained
+// into a pooled buffer and decoded from memory, instead of the JSON decoder
+// growing a fresh internal read buffer per request.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// decodeRequest strictly parses a JSON request body into v through a pooled
+// decode buffer.
 func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyBufPool.Put(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxRequestBytes)); err != nil {
+		writeError(w, http.StatusBadRequest, "parse request: %v", err)
+		return false
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeError(w, http.StatusBadRequest, "parse request: %v", err)

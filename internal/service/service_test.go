@@ -466,7 +466,9 @@ func TestEndToEndOverHTTP(t *testing.T) {
 }
 
 func TestCacheLRUBound(t *testing.T) {
-	c := NewCache(2)
+	// One stripe pins the classic LRU semantics; multi-stripe eviction
+	// accounting is covered by the striped hammer test.
+	c := NewCacheStriped(2, 1)
 	val := func(s string) func() ([]byte, error) {
 		return func() ([]byte, error) { return []byte(s), nil }
 	}
