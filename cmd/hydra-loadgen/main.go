@@ -54,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	duration := fs.Duration("duration", 5*time.Second, "measured run length")
 	qps := fs.Float64("qps", 0, "open-loop target arrival rate; 0 = closed loop (saturation throughput)")
 	workers := fs.Int("workers", 8, "concurrent request senders")
-	mixFlag := fs.String("mix", "hit=1", "request-class mix as class=weight pairs, e.g. hit=0.9,cold=0.05,admit=0.05")
+	mixFlag := fs.String("mix", "hit=1", "request-class mix as class=weight pairs over hit, cold, admit and churn, e.g. hit=0.9,cold=0.05,admit=0.04,churn=0.01")
 	seed := fs.Int64("seed", 1, "class-selection RNG seed")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
 	bench := fs.String("bench", "", "emit benchjson-compatible benchmark lines named Benchmark<NAME>/<class> instead of the JSON report")

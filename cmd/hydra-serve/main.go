@@ -31,6 +31,13 @@
 // running campaigns checkpoint and stop between cells. A campaign
 // interrupted this way resumes from its -jobs-dir checkpoint on the next
 // start and produces a result byte-identical to an uninterrupted run.
+//
+// Hosted systems are durable when -systems-dir is set: every mutation is
+// written to a per-system write-ahead op log before it is acknowledged, a
+// snapshot is taken every -snapshot-every ops, and the next start recovers
+// every system by snapshot restore + log replay — bit-identical to a process
+// that never stopped, including event-log versions. The registry is sharded
+// (-system-shards) by consistent hash of the system id.
 package main
 
 import (
@@ -67,6 +74,10 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 	jobsDir := fs.String("jobs-dir", "", "experiment-campaign checkpoint directory; interrupted campaigns found there resume on startup (empty = fresh temp dir, campaigns do not survive the process)")
 	maxJobs := fs.Int("max-jobs", 2, "concurrently running experiment campaigns; further submissions queue")
 	maxSystems := fs.Int("max-systems", 64, "long-lived online systems hosted under /v1/systems")
+	systemsDir := fs.String("systems-dir", "", "hosted-system persistence root: every system lives as a manifest + write-ahead op log + periodic snapshot, and is recovered by log replay on startup (empty = fresh temp dir, systems do not survive the process)")
+	systemShards := fs.Int("system-shards", 0, "independently locked system-registry shards selected by consistent hash of the system id, rounded up to a power of two, max 256 (0 = GOMAXPROCS-derived default; 1 = a single global lock, for A/B load tests)")
+	snapshotEvery := fs.Int("snapshot-every", 64, "ops between per-system snapshots — the recovery replay bound (<= 0 selects the default 64)")
+	walFsync := fs.Bool("wal-fsync", false, "fsync every system op-log append before acknowledging the mutation (survives kernel crashes at a per-admit latency cost; off = page-cache durability, survives process crashes)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining connections on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,9 +85,16 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 	if *cacheStripes < 0 || *cacheStripes > 256 {
 		return fmt.Errorf("-cache-stripes must be in [0, 256] (0 = GOMAXPROCS-derived default), got %d", *cacheStripes)
 	}
+	if *systemShards < 0 || *systemShards > 256 {
+		return fmt.Errorf("-system-shards must be in [0, 256] (0 = GOMAXPROCS-derived default), got %d", *systemShards)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := service.Config{CacheSize: *cacheSize, CacheStripes: *cacheStripes, Workers: *workers, JobsDir: *jobsDir, MaxJobs: *maxJobs, MaxSystems: *maxSystems}
+	cfg := service.Config{
+		CacheSize: *cacheSize, CacheStripes: *cacheStripes, Workers: *workers,
+		JobsDir: *jobsDir, MaxJobs: *maxJobs, MaxSystems: *maxSystems,
+		SystemsDir: *systemsDir, SystemShards: *systemShards, SnapshotEvery: *snapshotEvery, SystemWALSync: *walFsync,
+	}
 	return serve(ctx, *addr, cfg, *shutdownTimeout, logw, ready)
 }
 
@@ -94,7 +112,7 @@ func serve(ctx context.Context, addr string, cfg service.Config, grace time.Dura
 		return err
 	}
 	httpSrv := &http.Server{Handler: svc.Handler()}
-	fmt.Fprintf(logw, "hydra-serve: listening on %s (jobs dir %s)\n", ln.Addr(), svc.JobsDir())
+	fmt.Fprintf(logw, "hydra-serve: listening on %s (jobs dir %s, systems dir %s)\n", ln.Addr(), svc.JobsDir(), svc.SystemsDir())
 	if ready != nil {
 		ready(ln.Addr())
 	}

@@ -31,6 +31,7 @@ const (
 	ClassCacheHit     = "cache-hit"     // the same allocation problem every time: steady-state cache hit
 	ClassAllocateCold = "allocate-cold" // a unique problem every time: full decode+allocate+encode
 	ClassTryAdmit     = "try-admit"     // incremental admission probe against a long-lived system
+	ClassChurn        = "churn"         // full system lifecycle: create, admit, retire, delete
 )
 
 // probeSystemID is the long-lived system the try-admit class probes.
@@ -42,14 +43,19 @@ type Mix struct {
 	CacheHit     float64 `json:"cache_hit"`
 	AllocateCold float64 `json:"allocate_cold"`
 	TryAdmit     float64 `json:"try_admit"`
+	// Churn exercises the whole hosted-system lifecycle: each arrival
+	// creates a unique system, admits one security task, retires it and
+	// deletes the system, measured as one latency sample. Against a durable
+	// registry (-systems-dir) this is the WAL-heavy path.
+	Churn float64 `json:"churn"`
 }
 
 // normalized returns the mix as fractions summing to 1.
 func (m Mix) normalized() (Mix, error) {
-	if m.CacheHit < 0 || m.AllocateCold < 0 || m.TryAdmit < 0 {
+	if m.CacheHit < 0 || m.AllocateCold < 0 || m.TryAdmit < 0 || m.Churn < 0 {
 		return Mix{}, fmt.Errorf("loadgen: mix weights must be non-negative, got %+v", m)
 	}
-	total := m.CacheHit + m.AllocateCold + m.TryAdmit
+	total := m.CacheHit + m.AllocateCold + m.TryAdmit + m.Churn
 	if total == 0 {
 		return Mix{CacheHit: 1}, nil
 	}
@@ -57,11 +63,13 @@ func (m Mix) normalized() (Mix, error) {
 		CacheHit:     m.CacheHit / total,
 		AllocateCold: m.AllocateCold / total,
 		TryAdmit:     m.TryAdmit / total,
+		Churn:        m.Churn / total,
 	}, nil
 }
 
 // ParseMix parses the CLI mix syntax "hit=0.9,cold=0.05,admit=0.05" (weights
 // are relative; omitted classes are zero; empty selects pure cache hits).
+// Known classes: hit, cold, admit, churn.
 func ParseMix(s string) (Mix, error) {
 	var m Mix
 	if strings.TrimSpace(s) == "" {
@@ -86,11 +94,13 @@ func ParseMix(s string) (Mix, error) {
 			m.AllocateCold = w
 		case "admit", ClassTryAdmit:
 			m.TryAdmit = w
+		case ClassChurn:
+			m.Churn = w
 		default:
-			return Mix{}, fmt.Errorf("loadgen: unknown mix class %q (want hit, cold or admit)", k)
+			return Mix{}, fmt.Errorf("loadgen: unknown mix class %q (want hit, cold, admit or churn)", k)
 		}
 	}
-	if m.CacheHit+m.AllocateCold+m.TryAdmit == 0 {
+	if m.CacheHit+m.AllocateCold+m.TryAdmit+m.Churn == 0 {
 		return Mix{}, fmt.Errorf("loadgen: mix %q has zero total weight", s)
 	}
 	return m, nil
@@ -220,7 +230,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		states[i] = &workerState{samples: map[string][]float64{}, errors: map[string]int{}}
 	}
 
-	var coldSeq atomic.Int64
+	var coldSeq, churnSeq atomic.Int64
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
 	runCtx, cancel := context.WithDeadline(ctx, deadline.Add(timeout))
@@ -262,7 +272,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 					class = pickClass(rng, mix)
 				}
 				st.sent++
-				elapsed, ok := issue(runCtx, client, base, class, &coldSeq)
+				elapsed, ok := issue(runCtx, client, base, class, &coldSeq, &churnSeq)
 				if ok {
 					st.samples[class] = append(st.samples[class], float64(elapsed.Nanoseconds()))
 				} else {
@@ -320,8 +330,13 @@ func pickClass(rng *rand.Rand, mix Mix) string {
 		return ClassCacheHit
 	case r < mix.CacheHit+mix.AllocateCold:
 		return ClassAllocateCold
-	default:
+	case r < mix.CacheHit+mix.AllocateCold+mix.TryAdmit:
 		return ClassTryAdmit
+	default:
+		if mix.Churn > 0 {
+			return ClassChurn
+		}
+		return ClassTryAdmit // float rounding with a zero churn weight
 	}
 }
 
@@ -373,6 +388,37 @@ const probeSystemBody = `{"id": "` + probeSystemID + `", "taskset": {
 
 const probeTaskBody = `{"security_task": {"name": "probe", "wcet_ms": 90, "desired_period_ms": 100, "max_period_ms": 120}}`
 
+// churnSystemBody creates the short-lived system of one churn cycle: a small
+// single-core system with plenty of slack so the admit below always lands.
+func churnSystemBody(id string) string {
+	return fmt.Sprintf(`{"id": %q, "taskset": {
+  "cores": 1,
+  "rt_tasks": [{"name": "ctl", "wcet_ms": 5, "period_ms": 20}],
+  "security_tasks": []
+}}`, id)
+}
+
+const churnTaskBody = `{"security_task": {"name": "scan", "wcet_ms": 10, "desired_period_ms": 500, "max_period_ms": 5000}}`
+
+// churnCycle runs one full system lifecycle: create -> admit -> retire ->
+// delete. All four steps must succeed for the sample to count; the caller
+// times the whole cycle as one arrival.
+func churnCycle(ctx context.Context, client *http.Client, base, id string) bool {
+	if s, err := doPost(ctx, client, base+"/v1/systems", churnSystemBody(id)); err != nil || s != http.StatusCreated {
+		return false
+	}
+	if s, err := doPost(ctx, client, base+"/v1/systems/"+id+"/tasks", churnTaskBody); err != nil || s != http.StatusOK {
+		return false
+	}
+	if s, err := doDelete(ctx, client, base+"/v1/systems/"+id+"/tasks/scan"); err != nil || s != http.StatusOK {
+		return false
+	}
+	if s, err := doDelete(ctx, client, base+"/v1/systems/"+id); err != nil || s != http.StatusOK {
+		return false
+	}
+	return true
+}
+
 // setup primes the cache-hit entry and creates the try-admit probe system
 // (idempotent: an already existing probe system from a previous run is fine).
 func setup(ctx context.Context, client *http.Client, base string, mix Mix) error {
@@ -400,7 +446,7 @@ func setup(ctx context.Context, client *http.Client, base string, mix Mix) error
 
 // issue sends one request of the class and reports its latency and whether
 // the response status was expected.
-func issue(ctx context.Context, client *http.Client, base, class string, coldSeq *atomic.Int64) (time.Duration, bool) {
+func issue(ctx context.Context, client *http.Client, base, class string, coldSeq, churnSeq *atomic.Int64) (time.Duration, bool) {
 	var (
 		url    string
 		body   string
@@ -413,6 +459,11 @@ func issue(ctx context.Context, client *http.Client, base, class string, coldSeq
 	case ClassAllocateCold:
 		url, body = base+"/v1/allocate", coldBody(coldSeq.Add(1))
 		okFunc = func(s int) bool { return s == http.StatusOK }
+	case ClassChurn:
+		id := fmt.Sprintf("churn-%d", churnSeq.Add(1))
+		start := time.Now()
+		ok := churnCycle(ctx, client, base, id)
+		return time.Since(start), ok
 	default: // ClassTryAdmit
 		url, body = base+"/v1/systems/"+probeSystemID+"/tasks", probeTaskBody
 		// The probe is built to be rejected; 409 is the expected verdict and
@@ -432,6 +483,21 @@ func doPost(ctx context.Context, client *http.Client, url, body string) (int, er
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// doDelete issues a DELETE and drains the response.
+func doDelete(ctx context.Context, client *http.Client, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, url, nil)
+	if err != nil {
+		return 0, err
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err

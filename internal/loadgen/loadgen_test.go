@@ -2,6 +2,8 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -144,13 +146,54 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
-// TestParseMix pins the CLI mix syntax.
-func TestParseMix(t *testing.T) {
-	m, err := ParseMix("hit=0.9,cold=0.05,admit=0.05")
+// TestChurnClassFullLifecycle: each churn arrival is one whole
+// create/admit/retire/delete cycle counted as a single sample, so a clean
+// run leaves no systems behind on the server (except the try-admit probe).
+func TestChurnClassFullLifecycle(t *testing.T) {
+	url := startTarget(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  url,
+		Duration: 300 * time.Millisecond,
+		Workers:  4,
+		Mix:      Mix{Churn: 1},
+		Seed:     4,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m != (Mix{CacheHit: 0.9, AllocateCold: 0.05, TryAdmit: 0.05}) {
+	cs, ok := rep.Classes[ClassChurn]
+	if !ok || cs.Count == 0 {
+		t.Fatalf("no churn samples: %+v", rep.Classes)
+	}
+	if cs.Errors != 0 {
+		t.Fatalf("churn errors: %+v", cs)
+	}
+	// Every cycle deleted its system: the server must be empty again.
+	var list struct {
+		Systems []struct {
+			ID string `json:"id"`
+		} `json:"systems"`
+	}
+	resp, err := http.Get(url + "/v1/systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Systems) != 0 {
+		t.Fatalf("churn leaked %d systems: %+v", len(list.Systems), list.Systems)
+	}
+}
+
+// TestParseMix pins the CLI mix syntax.
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("hit=0.9,cold=0.05,admit=0.04,churn=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{CacheHit: 0.9, AllocateCold: 0.05, TryAdmit: 0.04, Churn: 0.01}) {
 		t.Fatalf("parsed %+v", m)
 	}
 	if m, err := ParseMix(""); err != nil || m != (Mix{CacheHit: 1}) {

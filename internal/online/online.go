@@ -159,6 +159,12 @@ type System struct {
 	maxEv   int
 	changed chan struct{}
 	onEvent func(Event) // registry counter sink; may be nil
+
+	// reallocAfter is the auto-reallocate policy knob: after reallocAfter
+	// consecutive rejections the system runs Reallocate once and retries the
+	// rejected admission (0 = off). rejects is the running rejection streak.
+	reallocAfter int
+	rejects      int
 }
 
 // NewSystem builds a system by running the scheme cold on the initial
@@ -288,6 +294,46 @@ func (s *System) commitColdAllocation(rt []rts.RTTask, sec []rts.SecurityTask, p
 	return nil
 }
 
+// SetEventSink attaches a decision-log sink (the registry counter feed). It
+// must be attached before the system is shared across goroutines; events
+// logged earlier (the create event, replayed decisions) are not re-delivered.
+func (s *System) SetEventSink(fn func(Event)) {
+	s.mu.Lock()
+	s.onEvent = fn
+	s.mu.Unlock()
+}
+
+// SetReallocateAfter sets the auto-reallocate policy: after n consecutive
+// rejections the system reallocates once (re-running the scheme cold, which
+// re-tunes every adapted security period) and retries the rejected admission.
+// Zero (the default) disables the policy. Commit-order analysis priorities
+// and frozen period contracts are both looser than a cold run, so an arrival
+// the warm state rejects can be admissible after a reallocation — this knob
+// closes that loop without operator action.
+func (s *System) SetReallocateAfter(n int) {
+	s.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	s.reallocAfter = n
+	s.mu.Unlock()
+}
+
+// ReallocateAfter returns the auto-reallocate threshold (0 = off).
+func (s *System) ReallocateAfter() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reallocAfter
+}
+
+// Has reports whether a task with the given name is committed.
+func (s *System) Has(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.names[name]
+	return ok
+}
+
 // ID returns the system id.
 func (s *System) ID() string { return s.id }
 
@@ -328,6 +374,22 @@ func (s *System) AddSecurity(t rts.SecurityTask) (Placement, error) {
 	if _, dup := s.names[t.Name]; dup {
 		return Placement{}, fmt.Errorf("%w: %q", ErrDuplicateName, t.Name)
 	}
+	p, rej := s.admitSecurityLocked(t)
+	if rej == nil {
+		return p, nil
+	}
+	rej.Version = s.logEvent(Event{Type: EventReject, Task: t.Name, Kind: KindSecurity, Core: -1, Reason: rej.Error()})
+	if p, ok := s.autoReallocateLocked(func() *Rejection { var r *Rejection; p, r = s.admitSecurityLocked(t); return r }, &p); ok {
+		return p, nil
+	}
+	return Placement{}, rej
+}
+
+// admitSecurityLocked runs one security admission trial on the committed
+// state, committing and logging the admit on success. On failure it returns
+// an unlogged Rejection (the caller decides whether to log it — a retry
+// after an auto-reallocate must not double-log). Callers hold s.mu.
+func (s *System) admitSecurityLocked(t rts.SecurityTask) (Placement, *Rejection) {
 	adapt := core.PeriodAdaptation
 	if s.opts.UseGP {
 		adapt = core.PeriodAdaptationGP
@@ -360,16 +422,40 @@ func (s *System) AddSecurity(t rts.SecurityTask) (Placement, error) {
 		}
 	}
 	if bestCore < 0 {
-		rej := &Rejection{Task: t.Name, Kind: KindSecurity, Cores: verdicts}
-		rej.Version = s.logEvent(Event{Type: EventReject, Task: t.Name, Kind: KindSecurity, Core: -1, Reason: rej.Error()})
-		return Placement{}, rej
+		return Placement{}, &Rejection{Task: t.Name, Kind: KindSecurity, Cores: verdicts}
 	}
 	s.sec = append(s.sec, PlacedSec{Task: t, Core: bestCore, Period: bestPeriod})
 	s.st.CommitSecurity(bestCore, t.C, bestPeriod)
 	s.names[t.Name] = KindSecurity
+	s.rejects = 0
 	v := s.logEvent(Event{Type: EventAdmit, Task: t.Name, Kind: KindSecurity, Core: bestCore,
 		PeriodMS: bestPeriod, Tightness: t.Tightness(bestPeriod)})
 	return Placement{Core: bestCore, Period: bestPeriod, Tightness: t.Tightness(bestPeriod), Version: v}, nil
+}
+
+// autoReallocateLocked implements the ReallocateAfter policy after a
+// just-logged rejection: it grows the rejection streak, and once the streak
+// reaches the threshold it reallocates (the cold re-run re-tunes every
+// adapted security period and re-derives analysis priorities) and retries
+// the rejected admission exactly once via retry, which must write the retry
+// outcome into *p. It reports whether the retry admitted. Callers hold s.mu
+// and have already logged the triggering rejection; a failed retry is not
+// logged again.
+func (s *System) autoReallocateLocked(retry func() *Rejection, p *Placement) (Placement, bool) {
+	s.rejects++
+	if s.reallocAfter <= 0 || s.rejects < s.reallocAfter {
+		return Placement{}, false
+	}
+	s.rejects = 0
+	if err := s.reallocateLocked(); err != nil {
+		// The cold run rejected the committed taskset (bin packing is not
+		// monotone); the streak was reset so the next rejection starts over.
+		return Placement{}, false
+	}
+	if rej := retry(); rej != nil {
+		return Placement{}, false
+	}
+	return *p, true
 }
 
 // AddRT try-admits a real-time task: the system's partition heuristic picks
@@ -386,6 +472,25 @@ func (s *System) AddRT(t rts.RTTask) (Placement, error) {
 	if _, dup := s.names[t.Name]; dup {
 		return Placement{}, fmt.Errorf("%w: %q", ErrDuplicateName, t.Name)
 	}
+	p, rej, err := s.admitRTLocked(t)
+	if err != nil {
+		return Placement{}, err
+	}
+	if rej == nil {
+		return p, nil
+	}
+	rej.Version = s.logEvent(Event{Type: EventReject, Task: t.Name, Kind: KindRT, Core: -1, Reason: rej.Error()})
+	if p, ok := s.autoReallocateLocked(func() *Rejection { var r *Rejection; p, r, err = s.admitRTLocked(t); return r }, &p); ok && err == nil {
+		return p, nil
+	}
+	return Placement{}, rej
+}
+
+// admitRTLocked runs one real-time admission trial on the committed state,
+// committing and logging the admit on success. On a no-core-admits outcome
+// it returns an unlogged Rejection; the error return is reserved for
+// heuristic misconfiguration and internal inconsistencies. Callers hold s.mu.
+func (s *System) admitRTLocked(t rts.RTTask) (Placement, *Rejection, error) {
 	verdicts := make([]CoreVerdict, s.m)
 	admits := func(c int) bool {
 		if !s.st.TryAddRT(c, t) {
@@ -402,7 +507,7 @@ func (s *System) AddRT(t rts.RTTask) (Placement, error) {
 	}
 	chosen, err := partition.ChooseCore(s.heuristic, s.m, admits, s.st.RTUtil, &s.cursor)
 	if err != nil {
-		return Placement{}, err
+		return Placement{}, nil, err
 	}
 	if chosen < 0 {
 		rej := &Rejection{Task: t.Name, Kind: KindRT}
@@ -411,16 +516,16 @@ func (s *System) AddRT(t rts.RTTask) (Placement, error) {
 				rej.Cores = append(rej.Cores, verdicts[c])
 			}
 		}
-		rej.Version = s.logEvent(Event{Type: EventReject, Task: t.Name, Kind: KindRT, Core: -1, Reason: rej.Error()})
-		return Placement{}, rej
+		return Placement{}, rej, nil
 	}
 	if !s.st.AddRT(chosen, t) {
-		return Placement{}, fmt.Errorf("online: internal: core %d admitted task %q on trial but refused the commit", chosen, t.Name)
+		return Placement{}, nil, fmt.Errorf("online: internal: core %d admitted task %q on trial but refused the commit", chosen, t.Name)
 	}
 	s.rt = append(s.rt, PlacedRT{Task: t, Core: chosen})
 	s.names[t.Name] = KindRT
+	s.rejects = 0
 	v := s.logEvent(Event{Type: EventAdmit, Task: t.Name, Kind: KindRT, Core: chosen})
-	return Placement{Core: chosen, Version: v}, nil
+	return Placement{Core: chosen, Version: v}, nil, nil
 }
 
 // securityStaysFeasible checks Eq. (6) for every committed security task on
@@ -504,6 +609,16 @@ func (s *System) Remove(name string) (Removed, error) {
 func (s *System) Reallocate() (Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.reallocateLocked(); err != nil {
+		return Snapshot{}, err
+	}
+	return s.snapshotLocked(), nil
+}
+
+// reallocateLocked re-runs the scheme cold on the current taskset and logs
+// the outcome; callers hold s.mu. A successful reallocation resets the
+// rejection streak.
+func (s *System) reallocateLocked() error {
 	rt := make([]rts.RTTask, len(s.rt))
 	for i := range s.rt {
 		rt[i] = s.rt[i].Task
@@ -514,11 +629,12 @@ func (s *System) Reallocate() (Snapshot, error) {
 	}
 	if err := s.commitColdAllocation(rt, sec, nil); err != nil {
 		s.logEvent(Event{Type: EventReallocateReject, Core: -1, Reason: err.Error()})
-		return Snapshot{}, fmt.Errorf("online: reallocate: %w (committed state unchanged)", err)
+		return fmt.Errorf("online: reallocate: %w (committed state unchanged)", err)
 	}
+	s.rejects = 0
 	s.logEvent(Event{Type: EventReallocate, Core: -1,
 		Reason: fmt.Sprintf("%d rt + %d security tasks, cumulative tightness %.6g", len(s.rt), len(s.sec), s.cumulativeLocked())})
-	return s.snapshotLocked(), nil
+	return nil
 }
 
 // cumulativeLocked sums weight * tightness over the committed security tasks
@@ -563,4 +679,102 @@ func (s *System) snapshotLocked() Snapshot {
 		Sec:        append([]PlacedSec(nil), s.sec...),
 		Cumulative: s.cumulativeLocked(),
 	}
+}
+
+// PersistedState is everything beyond the creation parameters a restarted
+// process needs to continue a system's decision sequence exactly where it
+// stopped: the committed placements in commit order plus the internal
+// decision-affecting counters (the event-version counter, the NextFit
+// cursor, the auto-reallocate rejection streak). It is the payload of a
+// persistence snapshot; RestoreSystem is its inverse.
+type PersistedState struct {
+	Version      uint64
+	Cursor       int
+	RejectStreak int
+	RT           []PlacedRT
+	Sec          []PlacedSec
+}
+
+// PersistedState snapshots the system for persistence.
+func (s *System) PersistedState() PersistedState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return PersistedState{
+		Version:      s.version,
+		Cursor:       s.cursor,
+		RejectStreak: s.rejects,
+		RT:           append([]PlacedRT(nil), s.rt...),
+		Sec:          append([]PlacedSec(nil), s.sec...),
+	}
+}
+
+// RestoreSystem rebuilds a System from a persisted state without re-running
+// any allocation: the analysis state is re-seeded from the committed
+// placements in commit order — the same order an uninterrupted process
+// maintains through its admissions and cold-reseeding removals — so every
+// future decision (admit verdicts, period adaptations, Reallocate outcomes)
+// and every future event version is identical to the never-restarted
+// process's. No event is logged; the version counter resumes where the
+// persisted state left it. reallocAfter restores the auto-reallocate knob.
+func RestoreSystem(id, scheme string, h partition.Heuristic, m, reallocAfter int, ps PersistedState) (*System, error) {
+	if scheme == "" {
+		scheme = "hydra"
+	}
+	opts, ok := incrementalSchemes[scheme]
+	if !ok {
+		return nil, fmt.Errorf("online: scheme %q has no incremental admission step (supported: %s)",
+			scheme, strings.Join(SupportedSchemes(), ", "))
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("online: need at least one core, got %d", m)
+	}
+	if reallocAfter < 0 {
+		reallocAfter = 0
+	}
+	names := make(map[string]TaskKind, len(ps.RT)+len(ps.Sec))
+	for _, p := range ps.RT {
+		if p.Core < 0 || p.Core >= m {
+			return nil, fmt.Errorf("online: restore: rt task %q on invalid core %d of %d", p.Task.Name, p.Core, m)
+		}
+		if _, dup := names[p.Task.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateName, p.Task.Name)
+		}
+		names[p.Task.Name] = KindRT
+	}
+	for _, p := range ps.Sec {
+		if p.Core < 0 || p.Core >= m {
+			return nil, fmt.Errorf("online: restore: security task %q on invalid core %d of %d", p.Task.Name, p.Core, m)
+		}
+		if !(p.Period > 0) {
+			return nil, fmt.Errorf("online: restore: security task %q has non-positive period %g", p.Task.Name, p.Period)
+		}
+		if _, dup := names[p.Task.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateName, p.Task.Name)
+		}
+		names[p.Task.Name] = KindSecurity
+	}
+	s := &System{
+		id:           id,
+		scheme:       scheme,
+		opts:         opts,
+		heuristic:    h,
+		m:            m,
+		st:           rts.NewAnalysisState(m),
+		names:        names,
+		maxEv:        defaultMaxEvents,
+		changed:      make(chan struct{}),
+		reallocAfter: reallocAfter,
+		cursor:       ps.Cursor,
+		version:      ps.Version,
+		rejects:      ps.RejectStreak,
+	}
+	for _, p := range ps.RT {
+		s.st.SeedRT(p.Core, p.Task)
+		s.rt = append(s.rt, PlacedRT{Task: p.Task, Core: p.Core})
+	}
+	for _, p := range ps.Sec {
+		s.sec = append(s.sec, PlacedSec{Task: p.Task, Core: p.Core, Period: p.Period})
+		s.st.CommitSecurity(p.Core, p.Task.C, p.Period)
+	}
+	return s, nil
 }

@@ -461,44 +461,143 @@ func TestConcurrentAdmitsHammer(t *testing.T) {
 	checkCommittedFeasible(t, s.Snapshot())
 }
 
-// TestRegistryLifecycleAndCounters covers create/get/list/delete bookkeeping.
-func TestRegistryLifecycleAndCounters(t *testing.T) {
-	r := online.NewRegistry(2)
-	w := baseWorkload(t, 2, 0.6, 31)
-	a, err := r.Create("sys-a", "hydra", partition.BestFit, 2, w.RT, nil, w.Sec)
+// fragmentedSystem builds the canonical defragmentation scenario on two
+// cores under first-feasible packing: a2 and a3 end up on different cores
+// after a removal, so a big arrival with a narrow period window fits neither
+// core warm, while a cold re-pack stacks a2+a3 together and frees a core.
+func fragmentedSystem(t *testing.T, reallocAfter int) *online.System {
+	t.Helper()
+	s, err := online.NewSystem("frag", "hydra-first-feasible", partition.BestFit, 2, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Create("sys-a", "hydra", partition.BestFit, 2, nil, nil, nil); err == nil {
-		t.Fatal("duplicate id must fail")
+	s.SetReallocateAfter(reallocAfter)
+	for _, task := range []rts.SecurityTask{
+		{Name: "a1", C: 10, TDes: 50, TMax: 300},
+		{Name: "a2", C: 30, TDes: 100, TMax: 300},
+		{Name: "a3", C: 60, TDes: 100, TMax: 130},
+	} {
+		if _, err := s.AddSecurity(task); err != nil {
+			t.Fatalf("admit %s: %v", task.Name, err)
+		}
 	}
-	if _, err := r.Create("bad id!", "hydra", partition.BestFit, 2, nil, nil, nil); err == nil {
-		t.Fatal("invalid id must fail")
+	if _, err := s.Remove("a1"); err != nil {
+		t.Fatal(err)
 	}
-	anon, err := r.Create("", "hydra", partition.BestFit, 2, nil, nil, nil)
+	return s
+}
+
+// bigArrival is the admission that fails on the fragmented warm state but
+// succeeds after a reallocation re-packs a2+a3 onto one core.
+var bigArrival = rts.SecurityTask{Name: "b", C: 70, TDes: 100, TMax: 130}
+
+// TestReallocateUnlocksRejectedAdmit pins the escape-hatch claim directly:
+// the fragmented state rejects the arrival, an explicit Reallocate re-packs
+// the committed tasks, and the identical arrival then admits.
+func TestReallocateUnlocksRejectedAdmit(t *testing.T) {
+	s := fragmentedSystem(t, 0)
+	var rej *online.Rejection
+	if _, err := s.AddSecurity(bigArrival); !errors.As(err, &rej) {
+		t.Fatalf("warm admit: got %v, want a rejection", err)
+	}
+	if _, err := s.Reallocate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.AddSecurity(bigArrival)
+	if err != nil {
+		t.Fatalf("post-reallocate admit: %v", err)
+	}
+	if p.Period != 100 {
+		t.Fatalf("post-reallocate placement %+v, want period 100", p)
+	}
+	checkCommittedFeasible(t, s.Snapshot())
+}
+
+// TestAutoReallocateAfterRejects covers the ReallocateAfter policy knob: with
+// the threshold at 1, the rejected arrival triggers reallocate-and-retry
+// inside AddSecurity itself and the caller sees a clean admit, with the
+// decision log reading reject -> reallocate -> admit at contiguous versions.
+func TestAutoReallocateAfterRejects(t *testing.T) {
+	s := fragmentedSystem(t, 1)
+	if got := s.ReallocateAfter(); got != 1 {
+		t.Fatalf("ReallocateAfter() = %d, want 1", got)
+	}
+	base := s.Version()
+	p, err := s.AddSecurity(bigArrival)
+	if err != nil {
+		t.Fatalf("auto-reallocate admit: %v", err)
+	}
+	events, _ := s.EventsSince(base)
+	if len(events) != 3 ||
+		events[0].Type != online.EventReject ||
+		events[1].Type != online.EventReallocate ||
+		events[2].Type != online.EventAdmit {
+		t.Fatalf("event sequence %+v, want reject/reallocate/admit", events)
+	}
+	if p.Version != events[2].Version || events[2].Version != base+3 {
+		t.Fatalf("admit version %d, want %d", p.Version, base+3)
+	}
+	checkCommittedFeasible(t, s.Snapshot())
+}
+
+// TestAutoReallocateThresholdAndStreak: below the threshold nothing happens;
+// admits reset the rejection streak; and when the retry still rejects (an
+// RT-frozen core a reallocation cannot unfreeze — the security period
+// re-tightens to the same value), the caller gets the original rejection.
+func TestAutoReallocateThresholdAndStreak(t *testing.T) {
+	s := fragmentedSystem(t, 3)
+	base := s.Version()
+	// Two rejections stay below the threshold: no reallocate event.
+	for i := 0; i < 2; i++ {
+		if _, err := s.AddSecurity(bigArrival); err == nil {
+			t.Fatal("warm admit must reject")
+		}
+	}
+	events, _ := s.EventsSince(base)
+	for _, e := range events {
+		if e.Type == online.EventReallocate {
+			t.Fatalf("reallocated below threshold: %+v", events)
+		}
+	}
+	// An admit resets the streak, so two more rejections still stay below.
+	if _, err := s.AddSecurity(rts.SecurityTask{Name: "small", C: 1, TDes: 400, TMax: 500}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.AddSecurity(bigArrival); err == nil {
+			t.Fatal("warm admit must reject")
+		}
+	}
+	events, _ = s.EventsSince(base)
+	for _, e := range events {
+		if e.Type == online.EventReallocate {
+			t.Fatalf("streak not reset by admit: %+v", events)
+		}
+	}
+
+	// A frozen single core: the security period is interference-bound, so a
+	// reallocation re-derives the same tight period and the RT retry fails
+	// again — the caller sees the original rejection, after a logged
+	// reallocate attempt.
+	frozen, err := online.NewSystem("frozen", "hydra", partition.BestFit, 1,
+		[]rts.RTTask{{Name: "r0", C: 30, T: 100, D: 100}}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Create("overflow", "hydra", partition.BestFit, 2, nil, nil, nil); err == nil {
-		t.Fatal("registry bound must be enforced")
-	}
-	if got := r.List(); len(got) != 2 {
-		t.Fatalf("list: %d systems, want 2", len(got))
-	}
-	if _, ok := r.Get("sys-a"); !ok {
-		t.Fatal("get sys-a failed")
-	}
-	if _, err := a.AddSecurity(rts.SecurityTask{Name: "x", C: 0.5, TDes: 2000, TMax: 20000}); err != nil {
+	frozen.SetReallocateAfter(1)
+	// The RT interference pushes the adapted period above TDes, so the
+	// minimal feasible period binds exactly — zero slack.
+	if _, err := frozen.AddSecurity(rts.SecurityTask{Name: "tight", C: 10, TDes: 50, TMax: 1000}); err != nil {
 		t.Fatal(err)
 	}
-	if !r.Delete(anon.ID()) || r.Delete(anon.ID()) {
-		t.Fatal("delete must succeed once")
+	base = frozen.Version()
+	var rej *online.Rejection
+	if _, err := frozen.AddRT(rts.RTTask{Name: "r", C: 1, T: 100, D: 100}); !errors.As(err, &rej) {
+		t.Fatalf("frozen-core rt admit: got %v, want a rejection", err)
 	}
-	c := r.Counters()
-	if c.Active != 1 || c.Created != 2 || c.Deleted != 1 || c.Admitted != 1 {
-		t.Fatalf("counters: %+v", c)
+	events, _ = frozen.EventsSince(base)
+	if len(events) != 2 || events[0].Type != online.EventReject || events[1].Type != online.EventReallocate {
+		t.Fatalf("event sequence %+v, want reject then reallocate", events)
 	}
-	if c.Events == 0 {
-		t.Fatal("event counter not fed")
-	}
+	checkCommittedFeasible(t, frozen.Snapshot())
 }

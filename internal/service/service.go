@@ -15,9 +15,9 @@ import (
 	"hydra/internal/engine"
 	"hydra/internal/experiments"
 	"hydra/internal/jobs"
-	"hydra/internal/online"
 	"hydra/internal/partition"
 	"hydra/internal/sim"
+	"hydra/internal/syspersist"
 	"hydra/internal/tasksetio"
 )
 
@@ -59,6 +59,23 @@ type Config struct {
 	// MaxSystems bounds the long-lived online systems hosted under
 	// /v1/systems. Zero or negative selects 64.
 	MaxSystems int
+	// SystemsDir is the persistence root for hosted systems: each lives as a
+	// manifest + write-ahead op log + periodic snapshot and is recovered on
+	// startup by log replay. Empty selects a fresh temporary directory
+	// (systems then do not survive the process).
+	SystemsDir string
+	// SystemShards is the number of independently locked registry shards
+	// (rounded up to a power of two, max 256), selected by consistent hash
+	// of the system id. Zero selects a GOMAXPROCS-derived default
+	// (syspersist.DefaultShards); negative is invalid.
+	SystemShards int
+	// SnapshotEvery is the op count between per-system snapshots (the replay
+	// bound on recovery). Zero or negative selects 64.
+	SnapshotEvery int
+	// SystemWALSync forces every system op-log append to stable storage
+	// before the mutation is acknowledged. Off by default — admissions stay
+	// in the page cache and survive process crashes, not kernel crashes.
+	SystemWALSync bool
 }
 
 // Server implements the allocation service. Create with New; it is an
@@ -68,7 +85,7 @@ type Server struct {
 	cfg       Config
 	cache     *Cache
 	jobs      *jobs.Manager
-	systems   *online.Registry
+	systems   *syspersist.Registry
 	cold      latencyRecorder // allocate latency when the allocation actually ran
 	hot       latencyRecorder // allocate latency when served from cache
 	coalesced latencyRecorder // allocate latency when waiting on an identical in-flight run
@@ -87,16 +104,30 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheStripes < 0 || cfg.CacheStripes > maxCacheStripes {
 		return nil, fmt.Errorf("service: cache stripes must be in [0, %d] (0 = GOMAXPROCS-derived default), got %d", maxCacheStripes, cfg.CacheStripes)
 	}
+	if cfg.SystemShards < 0 || cfg.SystemShards > 256 {
+		return nil, fmt.Errorf("service: system shards must be in [0, 256] (0 = GOMAXPROCS-derived default), got %d", cfg.SystemShards)
+	}
 	mgr, err := jobs.NewManager(cfg.JobsDir, cfg.MaxJobs)
 	if err != nil {
 		return nil, fmt.Errorf("service: open jobs dir: %w", err)
+	}
+	registry, err := syspersist.Open(syspersist.Options{
+		Dir:           cfg.SystemsDir,
+		Shards:        cfg.SystemShards,
+		MaxSystems:    cfg.MaxSystems,
+		SnapshotEvery: cfg.SnapshotEvery,
+		Fsync:         cfg.SystemWALSync,
+	})
+	if err != nil {
+		mgr.Close()
+		return nil, fmt.Errorf("service: open systems dir: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
 		cache:   NewCacheStriped(cfg.CacheSize, cfg.CacheStripes),
 		jobs:    mgr,
-		systems: online.NewRegistry(cfg.MaxSystems),
+		systems: registry,
 		mux:     http.NewServeMux(),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -133,14 +164,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // JobsDir returns the experiment-campaign checkpoint directory.
 func (s *Server) JobsDir() string { return s.jobs.Dir() }
 
+// SystemsDir returns the hosted-system persistence root.
+func (s *Server) SystemsDir() string { return s.systems.Dir() }
+
 // Close cancels the server's base context — in-flight batch runs observe the
 // cancellation between grid cells and return promptly — then stops the job
 // manager, which interrupts running campaigns between cells and waits for
-// their checkpoints to settle (they resume on the next start). Safe to call
-// more than once.
+// their checkpoints to settle (they resume on the next start). Hosted
+// systems flush a final snapshot so the next start recovers them without
+// replay. Safe to call more than once.
 func (s *Server) Close() {
 	s.cancel()
 	s.jobs.Close()
+	s.systems.Close()
 }
 
 // requestContext derives a context cancelled when either the client goes
@@ -240,10 +276,10 @@ type AllocateLatency struct {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Cache    CacheStats      `json:"cache"`
-	Allocate AllocateLatency `json:"allocate_latency"`
-	Jobs     jobs.Counters   `json:"jobs"`
-	Systems  online.Counters `json:"systems"`
+	Cache    CacheStats          `json:"cache"`
+	Allocate AllocateLatency     `json:"allocate_latency"`
+	Jobs     jobs.Counters       `json:"jobs"`
+	Systems  syspersist.Counters `json:"systems"`
 }
 
 // errorResponse is the uniform error body.

@@ -10,6 +10,7 @@ import (
 	"hydra/internal/online"
 	"hydra/internal/partition"
 	"hydra/internal/rts"
+	"hydra/internal/syspersist"
 	"hydra/internal/tasksetio"
 )
 
@@ -22,6 +23,10 @@ type SystemCreateRequest struct {
 	Scheme    string             `json:"scheme,omitempty"`
 	Heuristic string             `json:"heuristic,omitempty"`
 	Taskset   tasksetio.Document `json:"taskset"`
+	// ReallocateAfter sets the system's auto-reallocate policy: after this
+	// many consecutive rejections the system reallocates once and retries
+	// the rejected admission. Zero (the default) disables the policy.
+	ReallocateAfter int `json:"reallocate_after,omitempty"`
 }
 
 // SystemRTTaskJSON is one committed real-time task of a system.
@@ -141,8 +146,9 @@ func systemStatus(err error) int {
 	switch {
 	case errors.As(err, &rej),
 		errors.Is(err, online.ErrDuplicateName),
-		errors.Is(err, online.ErrSystemExists),
-		errors.Is(err, online.ErrRegistryFull):
+		errors.Is(err, syspersist.ErrSystemExists),
+		errors.Is(err, syspersist.ErrRegistryFull),
+		errors.Is(err, syspersist.ErrClosed):
 		return http.StatusConflict
 	case errors.Is(err, online.ErrNotFound):
 		return http.StatusNotFound
@@ -166,7 +172,11 @@ func (s *Server) handleSystemCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sys, err := s.systems.Create(req.ID, req.Scheme, h, p.M, p.RT, p.RTPartition, p.Sec)
+	if req.ReallocateAfter < 0 {
+		writeError(w, http.StatusBadRequest, "reallocate_after must be >= 0, got %d", req.ReallocateAfter)
+		return
+	}
+	sys, err := s.systems.Create(req.ID, req.Scheme, h, p.M, p.RT, p.RTPartition, p.Sec, req.ReallocateAfter)
 	if err != nil {
 		writeError(w, systemStatus(err), "%v", err)
 		return
@@ -183,7 +193,7 @@ func (s *Server) handleSystemList(w http.ResponseWriter, r *http.Request) {
 }
 
 // getSystem resolves {id} or writes a 404.
-func (s *Server) getSystem(w http.ResponseWriter, r *http.Request) (*online.System, bool) {
+func (s *Server) getSystem(w http.ResponseWriter, r *http.Request) (*syspersist.DurableSystem, bool) {
 	id := r.PathValue("id")
 	sys, ok := s.systems.Get(id)
 	if !ok {
