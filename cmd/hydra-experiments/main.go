@@ -59,6 +59,7 @@ func run(args []string, stdout io.Writer) error {
 	list := fs.Bool("list-schemes", false, "print the registered allocation schemes and exit")
 	checkpoint := fs.String("checkpoint", "", "run one experiment as a resumable campaign checkpointed in this directory, printing the result JSON")
 	resume := fs.String("resume", "", "resume an interrupted campaign from its checkpoint directory, printing the result JSON")
+	resultsVersion := fs.Int("results-version", 0, "RNG/results version: 0 = current default (2), 1 = legacy math/rand streams, 2 = splittable SplitMix64")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +82,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if *checkpoint != "" {
-		config, err := campaignConfig(*which, coreList, schemeList, *seed, *tasksets, *attacks, *workers, *refine)
+		config, err := campaignConfig(*which, coreList, schemeList, *seed, *tasksets, *attacks, *workers, *refine, *resultsVersion)
 		if err != nil {
 			return err
 		}
@@ -104,6 +105,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "\n== Fig. 1: UAV case study, detection-time ECDF (%s) ==\n", strings.Join(schemeList, " vs "))
 		res, err := experiments.RunFig1(experiments.Fig1Config{
 			Cores: coreList, Schemes: schemeList, Attacks: *attacks, Seed: *seed, Workers: *workers,
+			ResultsVersion: *resultsVersion,
 		})
 		if err != nil {
 			return err
@@ -158,6 +160,7 @@ func run(args []string, stdout io.Writer) error {
 		for _, m := range coreList {
 			pts, err := experiments.RunFig2(experiments.Fig2Config{
 				M: m, TasksetsPerPoint: *tasksets, Seed: *seed, Schemes: schemeList, Workers: *workers,
+				ResultsVersion: *resultsVersion,
 			})
 			if err != nil {
 				return err
@@ -188,7 +191,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "\n== Fig. 3: cumulative-tightness gap, %s vs optimal (M=2, NS in [2,6]) ==\n", schemeList[0])
 		pts, err := experiments.RunFig3(experiments.Fig3Config{
 			TasksetsPerPoint: max(1, *tasksets/4), Seed: *seed, Scheme: schemeList[0],
-			RefineJointGP: *refine, Workers: *workers,
+			RefineJointGP: *refine, Workers: *workers, ResultsVersion: *resultsVersion,
 		})
 		if err != nil {
 			return err
@@ -205,6 +208,7 @@ func run(args []string, stdout io.Writer) error {
 		for _, m := range coreList {
 			cells, err := experiments.RunAblation(experiments.AblationConfig{
 				M: m, TasksetsPerCell: max(1, *tasksets/2), Seed: *seed, Workers: *workers,
+				ResultsVersion: *resultsVersion,
 			})
 			if err != nil {
 				return err
@@ -231,7 +235,7 @@ func run(args []string, stdout io.Writer) error {
 		for _, m := range coreList {
 			res, err := experiments.RunOnline(experiments.OnlineConfig{
 				M: m, Schemes: schemes, SystemsPerCell: max(1, *tasksets/25),
-				Seed: *seed, Workers: *workers,
+				Seed: *seed, Workers: *workers, ResultsVersion: *resultsVersion,
 			})
 			if err != nil {
 				return err
@@ -311,25 +315,25 @@ func onlineSchemes(schemeList []string) ([]string, error) {
 // mirroring what the non-campaign code paths run (fig2, ablation and online
 // campaigns cover the first -cores entry; run one campaign per M for the
 // full figure).
-func campaignConfig(which string, coreList []int, schemeList []string, seed int64, tasksets, attacks, workers int, refine bool) (json.RawMessage, error) {
+func campaignConfig(which string, coreList []int, schemeList []string, seed int64, tasksets, attacks, workers int, refine bool, resultsVersion int) (json.RawMessage, error) {
 	var cfg any
 	switch which {
 	case "table1":
 		return nil, nil
 	case "fig1":
-		cfg = experiments.Fig1Config{Cores: coreList, Schemes: schemeList, Attacks: attacks, Seed: seed, Workers: workers}
+		cfg = experiments.Fig1Config{Cores: coreList, Schemes: schemeList, Attacks: attacks, Seed: seed, Workers: workers, ResultsVersion: resultsVersion}
 	case "fig2":
-		cfg = experiments.Fig2Config{M: coreList[0], TasksetsPerPoint: tasksets, Seed: seed, Schemes: schemeList, Workers: workers}
+		cfg = experiments.Fig2Config{M: coreList[0], TasksetsPerPoint: tasksets, Seed: seed, Schemes: schemeList, Workers: workers, ResultsVersion: resultsVersion}
 	case "fig3":
-		cfg = experiments.Fig3Config{TasksetsPerPoint: max(1, tasksets/4), Seed: seed, Scheme: schemeList[0], RefineJointGP: refine, Workers: workers}
+		cfg = experiments.Fig3Config{TasksetsPerPoint: max(1, tasksets/4), Seed: seed, Scheme: schemeList[0], RefineJointGP: refine, Workers: workers, ResultsVersion: resultsVersion}
 	case "ablation":
-		cfg = experiments.AblationConfig{M: coreList[0], TasksetsPerCell: max(1, tasksets/2), Seed: seed, Workers: workers}
+		cfg = experiments.AblationConfig{M: coreList[0], TasksetsPerCell: max(1, tasksets/2), Seed: seed, Workers: workers, ResultsVersion: resultsVersion}
 	case "online":
 		schemes, err := onlineSchemes(schemeList)
 		if err != nil {
 			return nil, err
 		}
-		cfg = experiments.OnlineConfig{M: coreList[0], Schemes: schemes, SystemsPerCell: max(1, tasksets/25), Seed: seed, Workers: workers}
+		cfg = experiments.OnlineConfig{M: coreList[0], Schemes: schemes, SystemsPerCell: max(1, tasksets/25), Seed: seed, Workers: workers, ResultsVersion: resultsVersion}
 	default:
 		return nil, fmt.Errorf("-checkpoint needs a single experiment (table1, fig1, fig2, fig3, ablation or online), got %q", which)
 	}

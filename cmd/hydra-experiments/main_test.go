@@ -176,15 +176,21 @@ func TestCheckpointCampaignAndResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var points []struct {
-		TotalUtil float64
-		Generated int
+	var res struct {
+		ResultsVersion int `json:"results_version"`
+		Points         []struct {
+			TotalUtil float64
+			Generated int
+		}
 	}
-	if err := json.Unmarshal([]byte(out), &points); err != nil {
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
 		t.Fatalf("checkpoint output not result JSON: %v\n%s", err, out)
 	}
-	if len(points) != 39 {
-		t.Fatalf("got %d utilization points, want 39", len(points))
+	if res.ResultsVersion != 2 {
+		t.Fatalf("campaign result records results_version %d, want 2", res.ResultsVersion)
+	}
+	if len(res.Points) != 39 {
+		t.Fatalf("got %d utilization points, want 39", len(res.Points))
 	}
 	if _, err := os.Stat(filepath.Join(dir, "result.json")); err != nil {
 		t.Fatalf("result.json missing: %v", err)
@@ -206,7 +212,7 @@ func TestCheckpointCampaignAndResume(t *testing.T) {
 // result is byte-identical to an uninterrupted CLI run — the shared
 // checkpoint format contract with hydra-serve.
 func TestResumeInterruptedCampaign(t *testing.T) {
-	config, err := campaignConfig("fig2", []int{2}, []string{"hydra", "singlecore"}, 5, 4, 0, 1, false)
+	config, err := campaignConfig("fig2", []int{2}, []string{"hydra", "singlecore"}, 5, 4, 0, 1, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -86,31 +86,36 @@ func BenchmarkEngineGrid(b *testing.B) {
 
 // BenchmarkEngineGridCPU is the pure-CPU variant: no blocking, so speedup
 // tracks available hardware threads (flat on a single-CPU host, near-linear
-// up to GOMAXPROCS elsewhere).
+// up to GOMAXPROCS elsewhere). It runs the grid under both results versions:
+// v1 pays math/rand's expensive Seed per cell (historically ~1/3 of a
+// CPU-bound cell), v2 constructs a SplitMix64 stream in O(1) — the per-cell
+// throughput win the results_version bump buys.
 func BenchmarkEngineGridCPU(b *testing.B) {
 	const cells = 64
 	grid := make([]int, cells)
 	for i := range grid {
 		grid[i] = i
 	}
-	b.Run("serial", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for idx := range grid {
-				rng := stats.SplitRNG(1, int64(idx))
-				benchCellWork(rng, 0)
-			}
-		}
-	})
-	for _, workers := range []int{1, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	for _, v := range []stats.RNGVersion{stats.RNGv1, stats.RNGv2} {
+		b.Run(v.String()+"/serial", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := Run(context.Background(), grid, func(ctx context.Context, idx int, rng *rand.Rand, cell int) (float64, error) {
-					return benchCellWork(rng, 0), nil
-				}, Options{Workers: workers, Seed: 1})
-				if err != nil {
-					b.Fatal(err)
+				for idx := range grid {
+					rng := stats.VersionedRNG(v, 1, int64(idx))
+					benchCellWork(rng, 0)
 				}
 			}
 		})
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", v, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := Run(context.Background(), grid, func(ctx context.Context, idx int, rng *rand.Rand, cell int) (float64, error) {
+						return benchCellWork(rng, 0), nil
+					}, Options{Workers: workers, Seed: 1, ResultsVersion: v})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

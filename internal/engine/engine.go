@@ -54,6 +54,12 @@ type Options struct {
 	// or failed cells. Calls may come concurrently from multiple worker
 	// goroutines; the callback must synchronize internally.
 	OnCell func(idx int, result any)
+	// ResultsVersion selects the generator family behind every cell RNG
+	// (stats.RNGVersion): v1 = the historical math/rand streams, v2 = the
+	// splittable SplitMix64 generator. Zero selects v1, so existing callers'
+	// draws never move; any other unknown version fails the Run explicitly —
+	// a version mismatch must never become a silent stream change.
+	ResultsVersion stats.RNGVersion
 }
 
 // Run evaluates fn over every cell on a bounded worker pool and returns the
@@ -75,6 +81,13 @@ func Run[C, R any](ctx context.Context, cells []C, fn func(ctx context.Context, 
 	stream := opts.Stream
 	if stream == nil {
 		stream = func(idx int) int64 { return int64(idx) }
+	}
+	version := opts.ResultsVersion
+	if version == 0 {
+		version = stats.LegacyResultsVersion
+	}
+	if _, err := stats.ParseResultsVersion(int(version)); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 
 	parent := ctx
@@ -98,7 +111,7 @@ func Run[C, R any](ctx context.Context, cells []C, fn func(ctx context.Context, 
 				if ctx.Err() != nil {
 					continue
 				}
-				rng := stats.SplitRNG(opts.Seed, stream(idx))
+				rng := stats.VersionedRNG(version, opts.Seed, stream(idx))
 				r, err := fn(ctx, idx, rng, cells[idx])
 				if err != nil {
 					errs[idx] = err

@@ -27,6 +27,11 @@ type AblationConfig struct {
 	Schemes []string
 	// Workers bounds the parallel grid workers; 0 selects GOMAXPROCS.
 	Workers int
+	// ResultsVersion pins the RNG family behind the taskset draws
+	// (stats.RNGVersion: 1 = historical math/rand, 2 = SplitMix64). Absent
+	// selects the default for new runs; inside a campaign it must match the
+	// manifest's pinned version.
+	ResultsVersion int `json:"results_version,omitempty"`
 }
 
 func (c *AblationConfig) withDefaults() AblationConfig {
@@ -74,7 +79,20 @@ func RunAblation(cfg AblationConfig) ([]AblationCell, error) {
 
 // RunAblationCtx is RunAblation with cancellation.
 func RunAblationCtx(ctx context.Context, cfg AblationConfig) ([]AblationCell, error) {
-	return runAblation(ctx, cfg, Hooks{})
+	r, err := runAblation(ctx, cfg, Hooks{})
+	if err != nil {
+		return nil, err
+	}
+	return r.Cells, nil
+}
+
+// AblationResult is the "ablation" campaign's result document: the
+// results_version the draws came from plus the (scheme, heuristic) grid
+// cells. The rest of the config is deliberately not echoed back so results
+// stay byte-identical across settings (like Workers) that cannot move a draw.
+type AblationResult struct {
+	ResultsVersion int `json:"results_version"`
+	Cells          []AblationCell
 }
 
 // ablationCellResult is one taskset draw's outcome across every
@@ -88,8 +106,13 @@ type ablationCellResult struct {
 
 // runAblation is the campaign-hooked driver behind RunAblationCtx and the
 // "ablation" spec.
-func runAblation(ctx context.Context, cfg AblationConfig, hooks Hooks) ([]AblationCell, error) {
+func runAblation(ctx context.Context, cfg AblationConfig, hooks Hooks) (*AblationResult, error) {
 	c := cfg.withDefaults()
+	ver, err := resolveResultsVersion("ablation", c.ResultsVersion, hooks)
+	if err != nil {
+		return nil, err
+	}
+	c.ResultsVersion = int(ver)
 	heuristics := []partition.Heuristic{partition.FirstFit, partition.BestFit, partition.WorstFit, partition.NextFit}
 	modes := []bool{false}
 	if c.NonPreemptiveToo {
@@ -160,7 +183,7 @@ func runAblation(ctx context.Context, cfg AblationConfig, hooks Hooks) ([]Ablati
 			}
 		}
 		return out, nil
-	}, campaignEngineOptions[ablationCellResult](engine.Options{Workers: c.Workers, Seed: c.Seed}, hooks))
+	}, campaignEngineOptions[ablationCellResult](engine.Options{Workers: c.Workers, Seed: c.Seed, ResultsVersion: ver}, hooks))
 	if err != nil {
 		return nil, fmt.Errorf("ablation: %w", err)
 	}
@@ -187,5 +210,5 @@ func runAblation(ctx context.Context, cfg AblationConfig, hooks Hooks) ([]Ablati
 			cells[i].MeanTightness = tightSum[i] / float64(cells[i].Accepted)
 		}
 	}
-	return cells, nil
+	return &AblationResult{ResultsVersion: int(ver), Cells: cells}, nil
 }

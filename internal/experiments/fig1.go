@@ -28,6 +28,12 @@ type Fig1Config struct {
 	CDFPoints  int      // resolution of the returned ECDF series; default 50
 	CDFRangeMs float64  // x-axis cap of the series; default 50000 ms (paper)
 	Workers    int      // parallel grid workers; 0 = GOMAXPROCS
+	// ResultsVersion pins the RNG family behind the attack draws
+	// (stats.RNGVersion: 1 = historical math/rand, 2 = SplitMix64).
+	// Absent selects the default for new runs; inside a campaign it must
+	// match the manifest's pinned version. The result document carries the
+	// resolved value.
+	ResultsVersion int `json:"results_version,omitempty"`
 }
 
 func (c *Fig1Config) withDefaults() Fig1Config {
@@ -102,6 +108,11 @@ func RunFig1Ctx(ctx context.Context, cfg Fig1Config) (*Fig1Result, error) {
 // (including the raw ECDF samples), so checkpointed rows replay losslessly.
 func runFig1(ctx context.Context, cfg Fig1Config, hooks Hooks) (*Fig1Result, error) {
 	c := cfg.withDefaults()
+	ver, err := resolveResultsVersion("fig1", c.ResultsVersion, hooks)
+	if err != nil {
+		return nil, err
+	}
+	c.ResultsVersion = int(ver) // the result document records the resolved version
 	allocs, err := core.Resolve(c.Schemes...)
 	if err != nil {
 		return nil, fmt.Errorf("fig1: %w", err)
@@ -145,7 +156,8 @@ func runFig1(ctx context.Context, cfg Fig1Config, hooks Hooks) (*Fig1Result, err
 		Seed:    c.Seed,
 		// Stream by platform size: the attack sequence for a given (seed, M)
 		// does not depend on which other sizes are swept.
-		Stream: func(idx int) int64 { return int64(c.Cores[idx]) },
+		Stream:         func(idx int) int64 { return int64(c.Cores[idx]) },
+		ResultsVersion: ver,
 	}, hooks))
 	if err != nil {
 		return nil, fmt.Errorf("fig1: %w", err)

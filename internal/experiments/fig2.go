@@ -34,6 +34,11 @@ type Fig2Config struct {
 	Schemes []string
 	// Workers bounds the parallel grid workers; 0 selects GOMAXPROCS.
 	Workers int
+	// ResultsVersion pins the RNG family behind the taskset draws
+	// (stats.RNGVersion: 1 = historical math/rand, 2 = SplitMix64). Absent
+	// selects the default for new runs; inside a campaign it must match the
+	// manifest's pinned version.
+	ResultsVersion int `json:"results_version,omitempty"`
 }
 
 func (c *Fig2Config) withDefaults() Fig2Config {
@@ -98,7 +103,20 @@ func RunFig2(cfg Fig2Config) ([]Fig2Point, error) {
 
 // RunFig2Ctx is RunFig2 with cancellation.
 func RunFig2Ctx(ctx context.Context, cfg Fig2Config) ([]Fig2Point, error) {
-	return runFig2(ctx, cfg, Hooks{})
+	r, err := runFig2(ctx, cfg, Hooks{})
+	if err != nil {
+		return nil, err
+	}
+	return r.Points, nil
+}
+
+// Fig2Result is the "fig2" campaign's result document: the
+// results_version the draws came from plus the per-utilization points. The
+// rest of the config is deliberately not echoed back so results stay
+// byte-identical across settings (like Workers) that cannot move a draw.
+type Fig2Result struct {
+	ResultsVersion int `json:"results_version"`
+	Points         []Fig2Point
 }
 
 // fig2CellResult is one (utilization level, taskset draw) cell outcome. Its
@@ -110,11 +128,16 @@ type fig2CellResult struct {
 
 // runFig2 is the campaign-hooked driver behind RunFig2Ctx and the "fig2"
 // spec.
-func runFig2(ctx context.Context, cfg Fig2Config, hooks Hooks) ([]Fig2Point, error) {
+func runFig2(ctx context.Context, cfg Fig2Config, hooks Hooks) (*Fig2Result, error) {
 	c := cfg.withDefaults()
 	if c.M < 2 {
 		return nil, fmt.Errorf("fig2: M must be >= 2 (SingleCore needs a spare core), got %d", c.M)
 	}
+	ver, err := resolveResultsVersion("fig2", c.ResultsVersion, hooks)
+	if err != nil {
+		return nil, err
+	}
+	c.ResultsVersion = int(ver)
 	allocs, err := core.Resolve(c.Schemes...)
 	if err != nil {
 		return nil, fmt.Errorf("fig2: %w", err)
@@ -184,7 +207,8 @@ func runFig2(ctx context.Context, cfg Fig2Config, hooks Hooks) ([]Fig2Point, err
 		Seed:    c.Seed,
 		// Stream by (level, draw) so the workload stream is stable under
 		// grid reshaping (matching the serial driver's historical streams).
-		Stream: func(idx int) int64 { return int64(cells[idx].k)<<32 | int64(cells[idx].t) },
+		Stream:         func(idx int) int64 { return int64(cells[idx].k)<<32 | int64(cells[idx].t) },
+		ResultsVersion: ver,
 	}, hooks))
 	if err != nil {
 		return nil, fmt.Errorf("fig2: %w", err)
@@ -217,7 +241,7 @@ func runFig2(ctx context.Context, cfg Fig2Config, hooks Hooks) ([]Fig2Point, err
 		}
 		points = append(points, pt)
 	}
-	return points, nil
+	return &Fig2Result{ResultsVersion: int(ver), Points: points}, nil
 }
 
 // necessaryCondition applies Eq. 1 to the combined workload with security

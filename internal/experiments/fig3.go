@@ -31,6 +31,11 @@ type Fig3Config struct {
 	RefineJointGP bool
 	// Workers bounds the parallel grid workers; 0 selects GOMAXPROCS.
 	Workers int
+	// ResultsVersion pins the RNG family behind the taskset draws
+	// (stats.RNGVersion: 1 = historical math/rand, 2 = SplitMix64). Absent
+	// selects the default for new runs; inside a campaign it must match the
+	// manifest's pinned version.
+	ResultsVersion int `json:"results_version,omitempty"`
 }
 
 func (c *Fig3Config) withDefaults() Fig3Config {
@@ -75,7 +80,20 @@ func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
 
 // RunFig3Ctx is RunFig3 with cancellation.
 func RunFig3Ctx(ctx context.Context, cfg Fig3Config) ([]Fig3Point, error) {
-	return runFig3(ctx, cfg, Hooks{})
+	r, err := runFig3(ctx, cfg, Hooks{})
+	if err != nil {
+		return nil, err
+	}
+	return r.Points, nil
+}
+
+// Fig3Result is the "fig3" campaign's result document: the
+// results_version the draws came from plus the per-utilization points. The
+// rest of the config is deliberately not echoed back so results stay
+// byte-identical across settings (like Workers) that cannot move a draw.
+type Fig3Result struct {
+	ResultsVersion int `json:"results_version"`
+	Points         []Fig3Point
 }
 
 // fig3CellResult is one taskset draw's outcome; exported fields let campaign
@@ -87,8 +105,13 @@ type fig3CellResult struct {
 
 // runFig3 is the campaign-hooked driver behind RunFig3Ctx and the "fig3"
 // spec.
-func runFig3(ctx context.Context, cfg Fig3Config, hooks Hooks) ([]Fig3Point, error) {
+func runFig3(ctx context.Context, cfg Fig3Config, hooks Hooks) (*Fig3Result, error) {
 	c := cfg.withDefaults()
+	ver, err := resolveResultsVersion("fig3", c.ResultsVersion, hooks)
+	if err != nil {
+		return nil, err
+	}
+	c.ResultsVersion = int(ver)
 	allocs, err := core.Resolve(c.Scheme)
 	if err != nil {
 		return nil, fmt.Errorf("fig3: %w", err)
@@ -136,9 +159,10 @@ func runFig3(ctx context.Context, cfg Fig3Config, hooks Hooks) ([]Fig3Point, err
 		}
 		return fig3CellResult{Compared: true, Gap: gap}, nil
 	}, campaignEngineOptions[fig3CellResult](engine.Options{
-		Workers: c.Workers,
-		Seed:    c.Seed + 1000, // historical stream offset of the serial driver
-		Stream:  func(idx int) int64 { return int64(cells[idx].k)<<32 | int64(cells[idx].t) },
+		Workers:        c.Workers,
+		Seed:           c.Seed + 1000, // historical stream offset of the serial driver
+		Stream:         func(idx int) int64 { return int64(cells[idx].k)<<32 | int64(cells[idx].t) },
+		ResultsVersion: ver,
 	}, hooks))
 	if err != nil {
 		return nil, fmt.Errorf("fig3: %w", err)
@@ -164,5 +188,5 @@ func runFig3(ctx context.Context, cfg Fig3Config, hooks Hooks) ([]Fig3Point, err
 		}
 		points = append(points, pt)
 	}
-	return points, nil
+	return &Fig3Result{ResultsVersion: int(ver), Points: points}, nil
 }

@@ -43,6 +43,11 @@ type OnlineConfig struct {
 	Seed      int64
 	Heuristic partition.Heuristic
 	Workers   int
+	// ResultsVersion pins the RNG family behind the system draws and churn
+	// sequences (stats.RNGVersion: 1 = historical math/rand, 2 =
+	// SplitMix64). Absent selects the default for new runs; inside a
+	// campaign it must match the manifest's pinned version.
+	ResultsVersion int `json:"results_version,omitempty"`
 }
 
 func (c *OnlineConfig) withDefaults() OnlineConfig {
@@ -112,12 +117,14 @@ type OnlineTiming struct {
 	SpeedupX float64
 }
 
-// OnlineResult is the churn sweep's result document. Points is the
-// seed-deterministic (byte-stable) section; Timing is the machine-relative
-// section, index-aligned with Points.
+// OnlineResult is the churn sweep's result document. ResultsVersion records
+// the RNG family the draws came from; Points is the seed-deterministic
+// (byte-stable) section; Timing is the machine-relative section,
+// index-aligned with Points.
 type OnlineResult struct {
-	Points []OnlinePoint  `json:"points"`
-	Timing []OnlineTiming `json:"timing"`
+	ResultsVersion int            `json:"results_version"`
+	Points         []OnlinePoint  `json:"points"`
+	Timing         []OnlineTiming `json:"timing"`
 }
 
 // onlineCellResult is one (scheme, util, rate, draw) cell outcome; exported
@@ -142,6 +149,11 @@ func RunOnline(cfg OnlineConfig) (*OnlineResult, error) {
 // spec.
 func runOnline(ctx context.Context, cfg OnlineConfig, hooks Hooks) (*OnlineResult, error) {
 	c := cfg.withDefaults()
+	ver, err := resolveResultsVersion("online", c.ResultsVersion, hooks)
+	if err != nil {
+		return nil, err
+	}
+	c.ResultsVersion = int(ver)
 	for _, name := range c.Schemes {
 		if _, err := core.Resolve(name); err != nil {
 			return nil, fmt.Errorf("online: %w", err)
@@ -175,12 +187,13 @@ func runOnline(ctx context.Context, cfg OnlineConfig, hooks Hooks) (*OnlineResul
 			cl := cells[idx]
 			return int64(cl.s)<<48 | int64(cl.u)<<40 | int64(cl.r)<<32 | int64(cl.t)
 		},
+		ResultsVersion: ver,
 	}, hooks))
 	if err != nil {
 		return nil, fmt.Errorf("online: %w", err)
 	}
 
-	out := &OnlineResult{}
+	out := &OnlineResult{ResultsVersion: int(ver)}
 	i := 0
 	for s := range c.Schemes {
 		for u := range c.UtilFracs {

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"hydra/internal/engine"
+	"hydra/internal/stats"
 )
 
 // Hooks carries the campaign seams of a spec run: total-cell announcement,
@@ -30,6 +31,13 @@ type Hooks struct {
 	// Resume, when non-nil, supplies the JSON encoding of an already
 	// completed cell; such cells are replayed instead of re-evaluated.
 	Resume func(idx int) ([]byte, bool)
+	// ResultsVersion, when non-zero, is the RNG version pinned by the
+	// campaign manifest the spec runs under (stats.RNGVersion). A resumed
+	// campaign replays under the version that produced its checkpoints; a
+	// config that explicitly pins a different version is an error, never a
+	// silent stream change. Zero leaves the choice to the spec config
+	// (absent there too selects stats.DefaultResultsVersion).
+	ResultsVersion stats.RNGVersion
 }
 
 // Spec is one registered experiment campaign: a named runner over a JSON
@@ -121,6 +129,37 @@ func decodeSpecConfig[T any](raw json.RawMessage) (T, error) {
 		return cfg, fmt.Errorf("experiments: parse config: %w", err)
 	}
 	return cfg, nil
+}
+
+// resolveResultsVersion reconciles a spec config's results_version with the
+// campaign manifest's (Hooks.ResultsVersion), for spec name in errors. The
+// rules, in order:
+//
+//   - an explicit config version must parse, and must equal a non-zero
+//     manifest version — a mismatch is an explicit error (the manifest names
+//     the streams the checkpoints were drawn from; changing it mid-campaign
+//     would silently mix generators);
+//   - an absent config version defers to the manifest's;
+//   - absent everywhere selects stats.DefaultResultsVersion (new direct runs
+//     get the fast generator).
+func resolveResultsVersion(name string, cfgVersion int, h Hooks) (stats.RNGVersion, error) {
+	if cfgVersion != 0 {
+		v, err := stats.ParseResultsVersion(cfgVersion)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", name, err)
+		}
+		if h.ResultsVersion != 0 && h.ResultsVersion != v {
+			return 0, fmt.Errorf("%s: config results_version %s conflicts with the campaign's pinned %s", name, v, h.ResultsVersion)
+		}
+		return v, nil
+	}
+	if h.ResultsVersion != 0 {
+		if _, err := stats.ParseResultsVersion(int(h.ResultsVersion)); err != nil {
+			return 0, fmt.Errorf("%s: campaign: %w", name, err)
+		}
+		return h.ResultsVersion, nil
+	}
+	return stats.DefaultResultsVersion, nil
 }
 
 // campaignEngineOptions wires the byte-level checkpoint seam of Hooks into

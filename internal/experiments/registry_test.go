@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"testing"
+
+	"hydra/internal/stats"
 )
 
 func TestSpecCatalogue(t *testing.T) {
@@ -70,8 +72,15 @@ func TestSpecMatchesDirectDriver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, any(want)) {
-		t.Fatalf("spec result differs from direct driver:\n%+v\nvs\n%+v", got, want)
+	res, ok := got.(*Fig2Result)
+	if !ok {
+		t.Fatalf("spec result is %T, want *Fig2Result", got)
+	}
+	if res.ResultsVersion != int(stats.DefaultResultsVersion) {
+		t.Fatalf("spec result records results_version %d, want the default %d", res.ResultsVersion, stats.DefaultResultsVersion)
+	}
+	if !reflect.DeepEqual(res.Points, want) {
+		t.Fatalf("spec result differs from direct driver:\n%+v\nvs\n%+v", res.Points, want)
 	}
 }
 

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hydra/internal/stats"
+)
+
+// A config that explicitly pins a version different from the campaign
+// manifest's pinned version is an explicit error — resubmitting an old
+// config into a new campaign must never silently change its streams.
+func TestConfigVersionConflictsWithCampaign(t *testing.T) {
+	spec, err := ResolveSpec("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := json.RawMessage(`{"M": 2, "TasksetsPerPoint": 2, "UtilStepFrac": 0.5, "Seed": 3, "results_version": 1}`)
+	_, err = spec.Run(context.Background(), cfg, Hooks{ResultsVersion: stats.RNGv2})
+	if err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Fatalf("conflicting versions: err = %v, want explicit conflict error", err)
+	}
+	// Agreement is fine, and the campaign's pin alone also routes.
+	if _, err := spec.Run(context.Background(), cfg, Hooks{ResultsVersion: stats.RNGv1}); err != nil {
+		t.Fatalf("matching versions must run: %v", err)
+	}
+	if _, err := spec.Run(context.Background(), cfg, Hooks{}); err != nil {
+		t.Fatalf("config-only pin must run: %v", err)
+	}
+}
+
+// An unknown version — whether pinned by the config or by the campaign — is
+// rejected before any cell runs.
+func TestUnknownVersionRejected(t *testing.T) {
+	spec, err := ResolveSpec("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := json.RawMessage(`{"M": 2, "TasksetsPerPoint": 2, "UtilStepFrac": 0.5, "Seed": 3, "results_version": 7}`)
+	if _, err := spec.Run(context.Background(), bad, Hooks{}); err == nil || !strings.Contains(err.Error(), "results_version") {
+		t.Fatalf("config version 7: err = %v, want explicit results_version error", err)
+	}
+	good := json.RawMessage(`{"M": 2, "TasksetsPerPoint": 2, "UtilStepFrac": 0.5, "Seed": 3}`)
+	if _, err := spec.Run(context.Background(), good, Hooks{ResultsVersion: 7}); err == nil || !strings.Contains(err.Error(), "results_version") {
+		t.Fatalf("campaign version 7: err = %v, want explicit results_version error", err)
+	}
+}
+
+// The campaign pin routes the same generator the config pin does: pinning v1
+// via Hooks reproduces the draws of pinning v1 in the config.
+func TestCampaignPinMatchesConfigPin(t *testing.T) {
+	viaConfig, err := RunFig2(Fig2Config{M: 2, TasksetsPerPoint: 2, UtilStepFrac: 0.5, Seed: 3, ResultsVersion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ResolveSpec("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := spec.Run(context.Background(),
+		json.RawMessage(`{"M": 2, "TasksetsPerPoint": 2, "UtilStepFrac": 0.5, "Seed": 3}`),
+		Hooks{ResultsVersion: stats.RNGv1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := got.(*Fig2Result)
+	if res.ResultsVersion != 1 {
+		t.Fatalf("campaign-pinned run recorded results_version %d, want 1", res.ResultsVersion)
+	}
+	if !reflect.DeepEqual(res.Points, viaConfig) {
+		t.Fatal("campaign-pinned v1 drew differently from config-pinned v1")
+	}
+}

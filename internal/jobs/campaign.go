@@ -44,6 +44,7 @@
 package jobs
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -53,6 +54,7 @@ import (
 	"sync"
 
 	"hydra/internal/experiments"
+	"hydra/internal/stats"
 )
 
 // State is a campaign's persisted lifecycle state.
@@ -84,6 +86,12 @@ type Meta struct {
 	Config json.RawMessage `json:"config,omitempty"`
 	State  State           `json:"state"`
 	Error  string          `json:"error,omitempty"`
+	// ResultsVersion is the RNG family the campaign's streams draw from
+	// (stats.RNGVersion: 1 = historical math/rand, 2 = SplitMix64). Create
+	// stamps it on every new campaign (the config's explicit version, else
+	// the default); manifests written before versioning existed carry none
+	// and replay under v1 — the streams that produced their checkpoints.
+	ResultsVersion int `json:"results_version,omitempty"`
 }
 
 // Progress is a snapshot of a running campaign, delivered to Run's progress
@@ -118,6 +126,13 @@ func Create(dir, spec string, config json.RawMessage) (*Campaign, error) {
 	if _, err := experiments.ResolveSpec(spec); err != nil {
 		return nil, err
 	}
+	version, err := configResultsVersion(config)
+	if err != nil {
+		return nil, err
+	}
+	if version == 0 {
+		version = stats.DefaultResultsVersion // new campaigns take the fast generator
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -126,7 +141,7 @@ func Create(dir, spec string, config json.RawMessage) (*Campaign, error) {
 	}
 	c := &Campaign{
 		dir:  dir,
-		meta: Meta{Spec: spec, Config: config, State: StateRunning},
+		meta: Meta{Spec: spec, Config: config, State: StateRunning, ResultsVersion: int(version)},
 		done: map[int][]byte{},
 	}
 	if err := c.writeMeta(); err != nil {
@@ -149,6 +164,14 @@ func Open(dir string) (*Campaign, error) {
 	}
 	if _, err := experiments.ResolveSpec(meta.Spec); err != nil {
 		return nil, err
+	}
+	// An absent version means a pre-versioning manifest (replayed under v1
+	// at Run); a present-but-unknown one is an explicit error — resuming it
+	// under any known generator would silently change its streams.
+	if meta.ResultsVersion != 0 {
+		if _, err := stats.ParseResultsVersion(meta.ResultsVersion); err != nil {
+			return nil, fmt.Errorf("jobs: %s: %w", metaFile, err)
+		}
 	}
 	c := &Campaign{dir: dir, meta: meta}
 	if c.done, err = loadCheckpoint(filepath.Join(dir, cellsFile)); err != nil {
@@ -240,7 +263,15 @@ func (c *Campaign) Run(ctx context.Context, progress func(Progress)) ([]byte, er
 			progress(prog)
 		}
 	}
+	// The effective version: the stamped manifest's, or v1 for manifests
+	// written before versioning existed (their checkpoints were drawn from
+	// the v1 streams). The spec refuses a config that contradicts it.
+	version := stats.RNGVersion(c.meta.ResultsVersion)
+	if version == 0 {
+		version = stats.LegacyResultsVersion
+	}
 	hooks := experiments.Hooks{
+		ResultsVersion: version,
 		Total: func(n int) {
 			c.mu.Lock()
 			prog.Total = n
@@ -312,6 +343,26 @@ func (c *Campaign) Run(ctx context.Context, progress func(Progress)) ([]byte, er
 		return nil, err
 	}
 	return body, nil
+}
+
+// configResultsVersion peeks the results_version field of a spec config
+// without decoding the rest (spec configs are strict-decoded by the spec
+// itself at Run). Absent, null, or empty configs return 0; an explicit
+// unknown version is an error at creation time, before anything is written.
+func configResultsVersion(config json.RawMessage) (stats.RNGVersion, error) {
+	if len(config) == 0 || string(config) == "null" {
+		return 0, nil
+	}
+	var peek struct {
+		ResultsVersion int `json:"results_version"`
+	}
+	if err := json.NewDecoder(bytes.NewReader(config)).Decode(&peek); err != nil {
+		return 0, fmt.Errorf("jobs: parse config: %w", err)
+	}
+	if peek.ResultsVersion == 0 {
+		return 0, nil
+	}
+	return stats.ParseResultsVersion(peek.ResultsVersion)
 }
 
 func (c *Campaign) writeMeta() error {

@@ -1,0 +1,109 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// v1FixtureDir holds a frozen, half-finished fig1 campaign pinned to
+// results_version 1: the manifest (state "running"), a partial cells.jsonl,
+// and the byte-exact result an uninterrupted run produced when the fixture
+// was frozen. Replaying it proves today's code still reproduces yesterday's
+// v1 streams bit-for-bit — the compatibility promise behind defaulting new
+// campaigns to v2. Regenerate (only after an intentional, documented results
+// break) with:
+//
+//	go test ./internal/jobs -run TestFrozenV1CampaignReplay -update
+const v1FixtureDir = "testdata/v1_fig1_campaign"
+
+// v1FixtureConfig is deliberately tiny (two platform sizes, 40 attacks) so
+// the replay finishes in well under a second.
+const v1FixtureConfig = `{"Cores": [2, 4], "Attacks": 40, "Horizon": 100000, "CDFPoints": 5, "Seed": 23, "Workers": 1, "results_version": 1}`
+
+func TestFrozenV1CampaignReplay(t *testing.T) {
+	if *updateGolden {
+		regenerateV1Fixture(t)
+	}
+
+	// Work on a copy: resuming mutates the campaign directory.
+	dir := t.TempDir()
+	for _, name := range []string{"campaign.json", "cells.jsonl"} {
+		b, err := os.ReadFile(filepath.Join(v1FixtureDir, name))
+		if err != nil {
+			t.Fatalf("read fixture (run with -update to create): %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(filepath.Join(v1FixtureDir, "expected_result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Meta().ResultsVersion; got != 1 {
+		t.Fatalf("fixture manifest results_version = %d, want 1", got)
+	}
+	var last Progress
+	got, err := c.Run(context.Background(), func(p Progress) { last = p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Replayed < 1 {
+		t.Fatalf("fixture replayed %d cells, want >= 1 (checkpoint not exercised)", last.Replayed)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("frozen v1 campaign no longer reproduces its committed result:\n got %s\nwant %s", got, want)
+	}
+}
+
+// regenerateV1Fixture rebuilds the committed fixture: an uninterrupted twin
+// supplies expected_result.json, then a second campaign is cancelled after
+// its first checkpointed cell and its directory frozen mid-run.
+func regenerateV1Fixture(t *testing.T) {
+	t.Helper()
+	cfg := json.RawMessage(v1FixtureConfig)
+
+	clean, err := Create(t.TempDir(), "fig1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.RemoveAll(v1FixtureDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	interrupted, err := Create(v1FixtureDir, "fig1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := interrupted.Run(ctx, func(p Progress) {
+		if p.Done >= 1 {
+			cancel()
+		}
+	}); err == nil {
+		t.Fatal("interrupted fixture run must error")
+	}
+	if m := interrupted.Meta(); m.State != StateRunning {
+		t.Fatalf("fixture state = %s, want running", m.State)
+	}
+	if err := os.WriteFile(filepath.Join(v1FixtureDir, "expected_result.json"), want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,12 +22,16 @@ const StateQueued State = "queued"
 // Status is the externally visible snapshot of one job, shaped for the
 // /v1/experiments API.
 type Status struct {
-	ID            string `json:"id"`
-	Spec          string `json:"spec"`
-	State         State  `json:"state"`
-	TotalCells    int    `json:"total_cells"`
-	DoneCells     int    `json:"done_cells"`
-	ReplayedCells int    `json:"replayed_cells"`
+	ID   string `json:"id"`
+	Spec string `json:"spec"`
+	// ResultsVersion is the campaign's stamped RNG version (see
+	// Meta.ResultsVersion); 0 for campaigns created before versioning,
+	// which replay under v1.
+	ResultsVersion int   `json:"results_version,omitempty"`
+	State          State `json:"state"`
+	TotalCells     int   `json:"total_cells"`
+	DoneCells      int   `json:"done_cells"`
+	ReplayedCells  int   `json:"replayed_cells"`
 	// EtaMS estimates the remaining runtime from the throughput of the
 	// cells completed in this process (fresh cells / elapsed); 0 until the
 	// first fresh cell completes or when the job is not running.
@@ -56,9 +60,10 @@ type Counters struct {
 
 // Job is one managed campaign.
 type Job struct {
-	id   string
-	spec string // cached from the campaign manifest (avoids camp.mu under j.mu)
-	camp *Campaign
+	id      string
+	spec    string // cached from the campaign manifest (avoids camp.mu under j.mu)
+	version int    // results_version, cached like spec; immutable after Create/Open
+	camp    *Campaign
 
 	mu      sync.Mutex
 	state   State
@@ -140,7 +145,7 @@ func NewManager(dir string, maxJobs int) (*Manager, error) {
 			continue // not a campaign directory (or unreadable); leave it alone
 		}
 		meta := camp.Meta()
-		j := &Job{id: e.Name(), spec: meta.Spec, camp: camp, changed: make(chan struct{})}
+		j := &Job{id: e.Name(), spec: meta.Spec, version: meta.ResultsVersion, camp: camp, changed: make(chan struct{})}
 		j.state = meta.State
 		j.errMsg = meta.Error
 		j.prog = Progress{Done: camp.Checkpointed(), Replayed: camp.Checkpointed()}
@@ -180,7 +185,7 @@ func (m *Manager) Submit(spec string, config json.RawMessage) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
-	j := &Job{id: id, spec: spec, camp: camp, state: StateQueued, changed: make(chan struct{})}
+	j := &Job{id: id, spec: spec, version: camp.Meta().ResultsVersion, camp: camp, state: StateQueued, changed: make(chan struct{})}
 	m.mu.Lock()
 	m.jobs[id] = j
 	m.submitted++
@@ -372,13 +377,14 @@ func (m *Manager) snapshot(j *Job) Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	s := Status{
-		ID:            j.id,
-		Spec:          j.spec,
-		State:         j.state,
-		TotalCells:    j.prog.Total,
-		DoneCells:     j.prog.Done,
-		ReplayedCells: j.prog.Replayed,
-		Error:         j.errMsg,
+		ID:             j.id,
+		Spec:           j.spec,
+		ResultsVersion: j.version,
+		State:          j.state,
+		TotalCells:     j.prog.Total,
+		DoneCells:      j.prog.Done,
+		ReplayedCells:  j.prog.Replayed,
+		Error:          j.errMsg,
 	}
 	// Throughput-based ETA: remaining cells / (fresh cells per elapsed time).
 	// Guard every denominator — a just-submitted or just-resumed campaign has

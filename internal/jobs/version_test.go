@@ -1,0 +1,162 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyFig2 is a 2-point grid small enough to run to completion in every
+// version-routing case below.
+const tinyFig2 = `{"M": 2, "TasksetsPerPoint": 2, "UtilStepFrac": 0.5, "Seed": 11}`
+
+// New campaigns default to results_version 2; a config that pins a version
+// gets that version stamped instead; an unknown version is a Create error.
+func TestCreateStampsResultsVersion(t *testing.T) {
+	c, err := Create(t.TempDir(), "fig2", json.RawMessage(tinyFig2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Meta().ResultsVersion; got != 2 {
+		t.Fatalf("default campaign stamped results_version %d, want 2", got)
+	}
+
+	pinned, err := Create(t.TempDir(), "fig2",
+		json.RawMessage(strings.Replace(tinyFig2, `"Seed": 11`, `"Seed": 11, "results_version": 1`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pinned.Meta().ResultsVersion; got != 1 {
+		t.Fatalf("v1-pinned campaign stamped results_version %d, want 1", got)
+	}
+
+	_, err = Create(t.TempDir(), "fig2",
+		json.RawMessage(strings.Replace(tinyFig2, `"Seed": 11`, `"Seed": 11, "results_version": 9`, 1)))
+	if err == nil || !strings.Contains(err.Error(), "results_version") {
+		t.Fatalf("unknown version: err = %v, want explicit results_version error", err)
+	}
+	// table1 has a nil config; the default version must still stamp cleanly.
+	nilCfg, err := Create(t.TempDir(), "table1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nilCfg.Meta().ResultsVersion; got != 2 {
+		t.Fatalf("nil-config campaign stamped results_version %d, want 2", got)
+	}
+}
+
+// A manifest with no results_version field — every campaign that predates
+// the field — must keep replaying under v1, byte-identical to an explicitly
+// v1-pinned run. A manifest with an unknown version is an Open error.
+func TestOpenLegacyManifestRunsV1(t *testing.T) {
+	v1cfg := json.RawMessage(strings.Replace(tinyFig2, `"Seed": 11`, `"Seed": 11, "results_version": 1`, 1))
+	pinned, err := Create(t.TempDir(), "fig2", v1cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pinned.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A legacy campaign: created today, then campaign.json rewritten without
+	// the results_version field (and a version-free config), exactly what a
+	// pre-versioning checkpoint directory looks like on disk.
+	dir := t.TempDir()
+	if _, err := Create(dir, "fig2", json.RawMessage(tinyFig2)); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "campaign.json")
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta map[string]any
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		t.Fatal(err)
+	}
+	delete(meta, "results_version")
+	meta["config"] = json.RawMessage(tinyFig2)
+	stripped, err := json.Marshal(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manifest, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	legacy, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := legacy.Meta().ResultsVersion; got != 0 {
+		t.Fatalf("legacy manifest read back results_version %d, want absent (0)", got)
+	}
+	got, err := legacy.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("legacy campaign result differs from explicit v1 run:\n%s\nvs\n%s", got, want)
+	}
+
+	// Unknown version in the manifest: explicit Open error, never a silent
+	// fallback that would move the resumed campaign's streams.
+	meta["results_version"] = 9
+	corrupt, err := json.Marshal(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manifest, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "results_version") {
+		t.Fatalf("unknown manifest version: err = %v, want explicit results_version error", err)
+	}
+}
+
+// v1 and v2 campaigns over the same config must produce different result
+// bytes — the version is routing the generator, not just a label.
+func TestCampaignVersionsDiverge(t *testing.T) {
+	run := func(version string) []byte {
+		// A finer grid than tinyFig2: mid-range utilization levels are where
+		// individual draws move the acceptance counts.
+		base := `{"M": 2, "TasksetsPerPoint": 4, "UtilStepFrac": 0.05, "Seed": 11}`
+		cfg := base
+		if version != "" {
+			cfg = strings.Replace(base, `"Seed": 11`, `"Seed": 11, "results_version": `+version, 1)
+		}
+		c, err := Create(t.TempDir(), "fig2", json.RawMessage(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Run(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	v1 := run("1")
+	v2 := run("2")
+	def := run("")
+	// Compare the draws themselves, not the result envelope: the envelope's
+	// results_version label would make the bytes differ even if the version
+	// never reached the generator.
+	points := func(doc []byte) json.RawMessage {
+		var res struct{ Points json.RawMessage }
+		if err := json.Unmarshal(doc, &res); err != nil {
+			t.Fatal(err)
+		}
+		return res.Points
+	}
+	if bytes.Equal(points(v1), points(v2)) {
+		t.Fatal("v1 and v2 campaigns drew identical points")
+	}
+	if !bytes.Equal(def, v2) {
+		t.Fatal("unpinned campaign did not default to v2")
+	}
+}

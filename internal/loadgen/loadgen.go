@@ -252,7 +252,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		go func(w int) {
 			defer wg.Done()
 			st := states[w]
-			rng := stats.SplitRNG(cfg.Seed, int64(w)+1)
+			// Splittable (v2) generator unconditionally: loadgen reports are
+			// not results-versioned artifacts, so worker seeding takes the
+			// cheap split with no compatibility story.
+			rng := stats.Split(cfg.Seed, int64(w)+1)
 			for {
 				var class string
 				if openLoop {
@@ -290,7 +293,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 // schedule produces the open-loop arrival stream: class tokens at the target
 // rate on the wall clock, independent of response completions.
 func schedule(ctx context.Context, queue chan<- string, dropped *atomic.Int64, mix Mix, qps float64, seed int64, start, deadline time.Time) {
-	rng := stats.SplitRNG(seed, 0)
+	rng := stats.Split(seed, 0)
 	interval := time.Duration(float64(time.Second) / qps)
 	if interval <= 0 {
 		interval = time.Nanosecond

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"hydra/internal/partition"
+	"hydra/internal/stats"
 	"hydra/internal/tasksetio"
 )
 
@@ -33,17 +34,23 @@ var keyBufPool = sync.Pool{New: func() any {
 }}
 
 // Key returns the canonical cache key of an allocation problem: the SHA-256
-// of the scheme name, the partition heuristic, and a compact binary encoding
-// of the canonical taskset (sorted tasks, normalized defaults — see
-// Problem.Canonical). The problem must already be in canonical form; the
-// canonical bytes are built once in a pooled buffer and hashed directly
-// instead of round-tripping through a JSON document.
-func Key(p *tasksetio.Problem, scheme string, h partition.Heuristic) string {
+// of the scheme name, the partition heuristic, the results version, and a
+// compact binary encoding of the canonical taskset (sorted tasks, normalized
+// defaults — see Problem.Canonical). The results version participates even
+// though allocation itself draws no randomness: the key names the full
+// contract a cached body was computed under, so entries can never be shared
+// across versions if any version-dependent step joins the pipeline. The
+// problem must already be in canonical form; the canonical bytes are built
+// once in a pooled buffer and hashed directly instead of round-tripping
+// through a JSON document.
+func Key(p *tasksetio.Problem, scheme string, h partition.Heuristic, version stats.RNGVersion) string {
 	bufp := keyBufPool.Get().(*[]byte)
 	buf := (*bufp)[:0]
 	buf = append(buf, scheme...)
 	buf = append(buf, 0)
 	buf = append(buf, h.String()...)
+	buf = append(buf, 0)
+	buf = append(buf, byte(version))
 	buf = append(buf, 0)
 	buf = appendCanonicalBytes(buf, p)
 	sum := sha256.Sum256(buf)

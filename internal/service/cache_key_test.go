@@ -6,6 +6,7 @@ import (
 
 	"hydra/internal/partition"
 	"hydra/internal/rts"
+	"hydra/internal/stats"
 	"hydra/internal/tasksetio"
 )
 
@@ -49,22 +50,25 @@ func TestCacheKeyCoversEveryProblemField(t *testing.T) {
 		"Sec.append": func(p *tasksetio.Problem) {
 			p.Sec = append(p.Sec, rts.SecurityTask{Name: "t", C: 1, TDes: 50, TMax: 500})
 		},
-		"arg.scheme":   nil, // handled below: Key args, not Problem fields
-		"arg.heuristc": nil,
+		"arg.scheme":     nil, // handled below: Key args, not Problem fields
+		"arg.heuristc":   nil,
+		"arg.rngversion": nil,
 	}
-	baseKey := Key(keyBase(), "hydra", partition.BestFit)
+	baseKey := Key(keyBase(), "hydra", partition.BestFit, stats.RNGv2)
 	seen := map[string]string{"<base>": baseKey}
 	for name, mutate := range mutations {
 		var key string
 		switch name {
 		case "arg.scheme":
-			key = Key(keyBase(), "singlecore", partition.BestFit)
+			key = Key(keyBase(), "singlecore", partition.BestFit, stats.RNGv2)
 		case "arg.heuristc":
-			key = Key(keyBase(), "hydra", partition.FirstFit)
+			key = Key(keyBase(), "hydra", partition.FirstFit, stats.RNGv2)
+		case "arg.rngversion":
+			key = Key(keyBase(), "hydra", partition.BestFit, stats.RNGv1)
 		default:
 			p := keyBase()
 			mutate(p)
-			key = Key(p, "hydra", partition.BestFit)
+			key = Key(p, "hydra", partition.BestFit, stats.RNGv2)
 		}
 		if key == baseKey {
 			t.Errorf("mutation %q does not change the cache key — appendCanonicalBytes misses it", name)
@@ -77,7 +81,7 @@ func TestCacheKeyCoversEveryProblemField(t *testing.T) {
 		seen[name] = key
 	}
 	// Determinism: the same problem always hashes to the same key.
-	if again := Key(keyBase(), "hydra", partition.BestFit); again != baseKey {
+	if again := Key(keyBase(), "hydra", partition.BestFit, stats.RNGv2); again != baseKey {
 		t.Errorf("key not deterministic: %s vs %s", again, baseKey)
 	}
 }

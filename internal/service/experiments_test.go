@@ -79,14 +79,17 @@ func TestExperimentLifecycle(t *testing.T) {
 	if first.Code != http.StatusOK {
 		t.Fatalf("result: %d: %s", first.Code, first.Body)
 	}
-	var points []struct {
-		TotalUtil float64
-		Schemes   []string
+	var res struct {
+		ResultsVersion int `json:"results_version"`
+		Points         []struct {
+			TotalUtil float64
+			Schemes   []string
+		}
 	}
-	if err := json.Unmarshal(first.Body.Bytes(), &points); err != nil {
+	if err := json.Unmarshal(first.Body.Bytes(), &res); err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 3 || points[0].Schemes[0] != "hydra" {
+	if res.ResultsVersion != 2 || len(res.Points) != 3 || res.Points[0].Schemes[0] != "hydra" {
 		t.Fatalf("unexpected result: %s", first.Body)
 	}
 	// Result replays are byte-identical.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"hydra/internal/jobs"
 	"hydra/internal/partition"
 	"hydra/internal/sim"
+	"hydra/internal/stats"
 	"hydra/internal/syspersist"
 	"hydra/internal/tasksetio"
 )
@@ -189,22 +191,28 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 
 // AllocateRequest is the body of POST /v1/allocate: one taskset document
 // plus the scheme (registry name, default "hydra") and the RT partition
-// heuristic (default "best-fit"). The response is a tasksetio.ResultJSON
-// with tasks in canonical (name-sorted) order.
+// heuristic (default "best-fit"). ResultsVersion selects the RNG/results
+// contract the answer is served under (0 = the current default); allocation
+// itself is deterministic, but the version partitions the result cache and
+// is echoed in the X-Results-Version response header, so clients pinning v1
+// artifacts never share cache entries with v2 traffic. The response is a
+// tasksetio.ResultJSON with tasks in canonical (name-sorted) order.
 type AllocateRequest struct {
-	Scheme    string             `json:"scheme,omitempty"`
-	Heuristic string             `json:"heuristic,omitempty"`
-	Taskset   tasksetio.Document `json:"taskset"`
+	Scheme         string             `json:"scheme,omitempty"`
+	Heuristic      string             `json:"heuristic,omitempty"`
+	ResultsVersion int                `json:"results_version,omitempty"`
+	Taskset        tasksetio.Document `json:"taskset"`
 }
 
 // BatchRequest is the body of POST /v1/allocate/batch: many tasksets
 // allocated under one scheme, fanned out on the experiment engine. Results
 // are returned in request order regardless of worker scheduling.
 type BatchRequest struct {
-	Scheme    string               `json:"scheme,omitempty"`
-	Heuristic string               `json:"heuristic,omitempty"`
-	Workers   int                  `json:"workers,omitempty"`
-	Tasksets  []tasksetio.Document `json:"tasksets"`
+	Scheme         string               `json:"scheme,omitempty"`
+	Heuristic      string               `json:"heuristic,omitempty"`
+	ResultsVersion int                  `json:"results_version,omitempty"`
+	Workers        int                  `json:"workers,omitempty"`
+	Tasksets       []tasksetio.Document `json:"tasksets"`
 }
 
 // BatchResponse carries one ResultJSON document per requested taskset.
@@ -363,10 +371,19 @@ func resolveScheme(name string) (core.Allocator, error) {
 	return allocs[0], nil
 }
 
+// resolveResultsVersion maps a request's results_version (0 = absent) to a
+// validated stats.RNGVersion; new requests default to the current version.
+func resolveResultsVersion(v int) (stats.RNGVersion, error) {
+	if v == 0 {
+		return stats.DefaultResultsVersion, nil
+	}
+	return stats.ParseResultsVersion(v)
+}
+
 // allocate serves one allocation problem through the canonical-hash cache,
 // recording latency under the cold or hit series. The returned body is the
 // exact bytes every identical request receives.
-func (s *Server) allocate(doc *tasksetio.Document, schemeName, heuristicName string) ([]byte, bool, int, error) {
+func (s *Server) allocate(doc *tasksetio.Document, schemeName, heuristicName string, resultsVersion int) ([]byte, bool, int, error) {
 	alloc, err := resolveScheme(schemeName)
 	if err != nil {
 		return nil, false, http.StatusBadRequest, err
@@ -375,12 +392,16 @@ func (s *Server) allocate(doc *tasksetio.Document, schemeName, heuristicName str
 	if err != nil {
 		return nil, false, http.StatusBadRequest, err
 	}
+	version, err := resolveResultsVersion(resultsVersion)
+	if err != nil {
+		return nil, false, http.StatusBadRequest, err
+	}
 	p, err := doc.ToProblem()
 	if err != nil {
 		return nil, false, http.StatusBadRequest, err
 	}
 	canon := p.Canonical()
-	key := Key(canon, alloc.Name(), h)
+	key := Key(canon, alloc.Name(), h, version)
 	start := time.Now()
 	body, outcome, err := s.cache.Do(key, func() ([]byte, error) {
 		return computeAllocation(canon, alloc, h)
@@ -432,12 +453,14 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	if !decodeRequest(w, r, &req) {
 		return
 	}
-	body, hit, status, err := s.allocate(&req.Taskset, req.Scheme, req.Heuristic)
+	body, hit, status, err := s.allocate(&req.Taskset, req.Scheme, req.Heuristic, req.ResultsVersion)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
 	}
+	version, _ := resolveResultsVersion(req.ResultsVersion) // validated by allocate
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Results-Version", strconv.Itoa(int(version)))
 	if hit {
 		w.Header().Set("X-Cache", "HIT")
 	} else {
@@ -462,6 +485,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if _, err := resolveResultsVersion(req.ResultsVersion); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	workers := req.Workers
 	if workers <= 0 {
 		workers = s.cfg.Workers
@@ -470,7 +497,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	results, err := engine.Run(ctx, req.Tasksets,
 		func(ctx context.Context, idx int, _ *rand.Rand, doc tasksetio.Document) (json.RawMessage, error) {
-			body, _, _, err := s.allocate(&doc, req.Scheme, req.Heuristic)
+			body, _, _, err := s.allocate(&doc, req.Scheme, req.Heuristic, req.ResultsVersion)
 			if err != nil {
 				return nil, fmt.Errorf("taskset %d: %w", idx, err)
 			}

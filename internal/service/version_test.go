@@ -1,0 +1,57 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+)
+
+// The allocate path accepts a results_version, reports the resolved version
+// in X-Results-Version, and rejects unknown versions with a 400 instead of
+// silently serving a cache entry computed under a different version.
+func TestAllocateResultsVersion(t *testing.T) {
+	s := newServer(t)
+
+	def := post(t, s, "/v1/allocate", allocateBody(sampleTaskset, ""))
+	if def.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", def.Code, def.Body)
+	}
+	if got := def.Header().Get("X-Results-Version"); got != "2" {
+		t.Fatalf("default X-Results-Version = %q, want 2", got)
+	}
+
+	v1 := post(t, s, "/v1/allocate", allocateBody(sampleTaskset, `"results_version": 1`))
+	if v1.Code != http.StatusOK {
+		t.Fatalf("v1 status %d: %s", v1.Code, v1.Body)
+	}
+	if got := v1.Header().Get("X-Results-Version"); got != "1" {
+		t.Fatalf("v1 X-Results-Version = %q, want 1", got)
+	}
+	// Allocation is RNG-free, so the body matches — but the versions live in
+	// separate cache partitions: the v1 request must be a miss, not a hit on
+	// the default-version entry.
+	if got := v1.Header().Get("X-Cache"); got != "MISS" {
+		t.Fatalf("v1 request hit the v2 cache partition (X-Cache %q)", got)
+	}
+	again := post(t, s, "/v1/allocate", allocateBody(sampleTaskset, `"results_version": 1`))
+	if got := again.Header().Get("X-Cache"); got != "HIT" {
+		t.Fatalf("repeated v1 request X-Cache = %q, want HIT", got)
+	}
+
+	bad := post(t, s, "/v1/allocate", allocateBody(sampleTaskset, `"results_version": 9`))
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("unknown version: status %d, want 400: %s", bad.Code, bad.Body)
+	}
+}
+
+// The batch path validates the version up front with the same rule.
+func TestBatchResultsVersion(t *testing.T) {
+	s := newServer(t)
+	bad := post(t, s, "/v1/allocate/batch", `{"tasksets": [`+sampleTaskset+`], "results_version": 9}`)
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("unknown version: status %d, want 400: %s", bad.Code, bad.Body)
+	}
+	ok := post(t, s, "/v1/allocate/batch", `{"tasksets": [`+sampleTaskset+`], "results_version": 1}`)
+	if ok.Code != http.StatusOK {
+		t.Fatalf("v1 batch: status %d: %s", ok.Code, ok.Body)
+	}
+}

@@ -1,0 +1,32 @@
+package stats
+
+import "testing"
+
+// BenchmarkSplitRNG compares the cost of deriving one per-cell generator
+// and drawing a handful of values — the engine's per-cell pattern — under
+// v1 (math/rand reseed, whose Seed call dominates cheap cells) and v2
+// (SplitMix64 split, O(1) construction). The gap is the per-cell overhead
+// results_version 2 removes from every sweep.
+func BenchmarkSplitRNG(b *testing.B) {
+	const drawsPerCell = 4
+	b.Run("v1-reseed", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			rng := SplitRNG(1, int64(i))
+			for d := 0; d < drawsPerCell; d++ {
+				sink += rng.Float64()
+			}
+		}
+		_ = sink
+	})
+	b.Run("v2-split", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			rng := Split(1, int64(i))
+			for d := 0; d < drawsPerCell; d++ {
+				sink += rng.Float64()
+			}
+		}
+		_ = sink
+	})
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"testing"
+)
+
+// TestSplitDeterminism mirrors TestSplitRNGIndependence for the v2
+// generator: the same (seed, stream) reproduces the same sequence, and
+// different streams diverge.
+func TestSplitDeterminism(t *testing.T) {
+	a := Split(42, 0)
+	b := Split(42, 1)
+	c := Split(42, 0)
+	var sameAsC, sameAsB int
+	for i := 0; i < 100; i++ {
+		av, bv, cv := a.Float64(), b.Float64(), c.Float64()
+		if av == cv {
+			sameAsC++
+		}
+		if av == bv {
+			sameAsB++
+		}
+	}
+	if sameAsC != 100 {
+		t.Errorf("same (seed, stream) reproduced only %d/100 draws", sameAsC)
+	}
+	if sameAsB > 2 {
+		t.Errorf("different streams collided on %d/100 draws", sameAsB)
+	}
+}
+
+// TestSplitStreamIndependence checks that v2 streams are independent in the
+// sense the engine relies on: a stream's draws do not depend on whether, or
+// in what order, sibling streams are consumed.
+func TestSplitStreamIndependence(t *testing.T) {
+	// Draw stream 7 alone.
+	alone := make([]float64, 50)
+	rng := Split(9, 7)
+	for i := range alone {
+		alone[i] = rng.Float64()
+	}
+	// Draw streams 0..9 interleaved; stream 7 must see identical values.
+	rngs := make(map[int64]func() float64)
+	for s := int64(0); s < 10; s++ {
+		r := Split(9, s)
+		rngs[s] = r.Float64
+	}
+	for i := range alone {
+		for s := int64(9); s >= 0; s-- { // reversed order on purpose
+			v := rngs[s]()
+			if s == 7 && v != alone[i] {
+				t.Fatalf("draw %d of stream 7 changed when siblings were consumed: %v != %v", i, v, alone[i])
+			}
+		}
+	}
+}
+
+// TestSplitDiffersFromSplitRNG pins that the version tag is load-bearing:
+// v1 and v2 generators for the same (seed, stream) must produce different
+// sequences, otherwise results_version would not name anything.
+func TestSplitDiffersFromSplitRNG(t *testing.T) {
+	v1 := SplitRNG(1, 0)
+	v2 := Split(1, 0)
+	for i := 0; i < 10; i++ {
+		if v1.Float64() != v2.Float64() {
+			return
+		}
+	}
+	t.Fatal("v1 and v2 produced identical 10-draw prefixes for (1, 0)")
+}
+
+// TestSplitSeedSensitivity checks adjacent seeds and adjacent streams land
+// on well-separated states (the finalizer avalanche), not shifted copies.
+func TestSplitSeedSensitivity(t *testing.T) {
+	base := Split(100, 5)
+	seedAdj := Split(101, 5)
+	streamAdj := Split(100, 6)
+	var collide int
+	for i := 0; i < 100; i++ {
+		b := base.Float64()
+		if b == seedAdj.Float64() {
+			collide++
+		}
+		if b == streamAdj.Float64() {
+			collide++
+		}
+	}
+	if collide > 2 {
+		t.Errorf("adjacent (seed, stream) generators collided on %d/200 draws", collide)
+	}
+}
+
+func TestParseResultsVersion(t *testing.T) {
+	for _, tc := range []struct {
+		in   int
+		want RNGVersion
+		ok   bool
+	}{
+		{1, RNGv1, true},
+		{2, RNGv2, true},
+		{0, 0, false}, // absence is the caller's decision, never parsed
+		{3, 0, false},
+		{-1, 0, false},
+	} {
+		got, err := ParseResultsVersion(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseResultsVersion(%d) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseResultsVersion(%d) accepted an unknown version", tc.in)
+		}
+	}
+}
+
+// TestVersionedRNGRouting pins the routing contract: 0 and v1 select the
+// historical SplitRNG streams, v2 selects Split, anything else panics
+// (boundaries validate before building generators).
+func TestVersionedRNGRouting(t *testing.T) {
+	if got, want := VersionedRNG(0, 3, 4).Float64(), SplitRNG(3, 4).Float64(); got != want {
+		t.Errorf("version 0 did not route to the v1 streams: %v != %v", got, want)
+	}
+	if got, want := VersionedRNG(RNGv1, 3, 4).Float64(), SplitRNG(3, 4).Float64(); got != want {
+		t.Errorf("v1 did not route to SplitRNG: %v != %v", got, want)
+	}
+	if got, want := VersionedRNG(RNGv2, 3, 4).Float64(), Split(3, 4).Float64(); got != want {
+		t.Errorf("v2 did not route to Split: %v != %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("VersionedRNG(7, ...) did not panic")
+		}
+	}()
+	VersionedRNG(7, 0, 0)
+}
+
+func TestRNGVersionString(t *testing.T) {
+	if RNGv1.String() != "v1" || RNGv2.String() != "v2" {
+		t.Errorf("String() = %q, %q; want v1, v2", RNGv1, RNGv2)
+	}
+	if DefaultResultsVersion != RNGv2 || LegacyResultsVersion != RNGv1 {
+		t.Error("default/legacy version constants moved; the create-v2/read-v1 contract depends on them")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"hydra/internal/rts"
+	"hydra/internal/stats"
 )
 
 // Params mirrors Sec. IV-B of the paper. The zero value is not valid; use
@@ -46,6 +47,18 @@ type Workload struct {
 // TotalUtilization returns U_R + U_S(desired) of the workload.
 func (w *Workload) TotalUtilization() float64 {
 	return rts.TotalRTUtilization(w.RT) + rts.TotalSecurityDesiredUtilization(w.Sec)
+}
+
+// GenerateAt draws workload number draw of the stream owned by (version,
+// seed, shard), deriving the draw's generator directly instead of consuming
+// a shared sequential stream. Shard k of a scaled-out sweep can therefore
+// produce its own draws without replaying anyone else's — under
+// results_version 2 the derivation is an O(1) SplitMix64 split, which is
+// what makes per-shard forking free. The stream label packs (shard, draw)
+// exactly like the fig2/fig3 grid cells, so a sharded sweep's draw (k, t)
+// equals the single-process engine cell with the same label.
+func GenerateAt(p Params, version stats.RNGVersion, seed, shard, draw int64) (*Workload, error) {
+	return Generate(p, stats.VersionedRNG(version, seed, shard<<32|draw))
 }
 
 // Generate draws one workload. The split between real-time and security
