@@ -280,13 +280,15 @@ func fetchResult(t *testing.T, base, id string) []byte {
 // next server start and emits a result byte-identical to an uninterrupted
 // run.
 func TestSigintInterruptsAndCampaignResumesOnRestart(t *testing.T) {
-	// 19 levels x 800 draws = 15200 cells: the incremental-RTA allocation
-	// path made each cell ~2x cheaper, so the grid grew 2x over PR 3's 7600
-	// cells to keep the same wall-clock margin for interrupting mid-run at
-	// one worker. The reference runs the same grid at 8 workers — the
-	// engine's determinism guarantee makes the results byte-identical
-	// anyway, so the comparison also re-proves worker-count independence.
-	campaign := `{"experiment": "fig2", "config": {"M": 2, "TasksetsPerPoint": 800, "UtilStepFrac": 0.05, "Seed": 9, "Workers": 1}}`
+	// 19 levels x 3200 draws = 60800 cells: the grid is sized so the
+	// one-worker run takes whole seconds on a fast machine — the interrupt
+	// below must land while the grid is still mid-flight, and each time the
+	// per-cell cost halves this window halves with it (the 15200-cell grid
+	// flaked once cells hit ~60µs). The reference runs the same grid at 8
+	// workers — the engine's determinism guarantee makes the results
+	// byte-identical anyway, so the comparison also re-proves worker-count
+	// independence.
+	campaign := `{"experiment": "fig2", "config": {"M": 2, "TasksetsPerPoint": 3200, "UtilStepFrac": 0.05, "Seed": 9, "Workers": 1}}`
 	reference := strings.Replace(campaign, `"Workers": 1`, `"Workers": 8`, 1)
 
 	// Uninterrupted reference run (sequential: SIGINT is process-wide, so
@@ -308,9 +310,10 @@ func TestSigintInterruptsAndCampaignResumesOnRestart(t *testing.T) {
 	for {
 		var st jobStatus
 		getJSON(t, base+"/v1/experiments/"+id, &st)
-		// Interrupt well inside the grid so the SIGINT cannot race the
-		// campaign's natural completion.
-		if st.DoneCells >= 100 && st.DoneCells <= st.TotalCells/2 {
+		// Interrupt early but well inside the grid: past the first
+		// checkpoint flushes, with most of the grid still ahead so the
+		// SIGINT cannot race the campaign's natural completion.
+		if st.DoneCells >= 100 && st.TotalCells > 0 && st.DoneCells <= st.TotalCells/4 {
 			break
 		}
 		if st.State == "done" || time.Now().After(deadline) {

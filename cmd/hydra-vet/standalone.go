@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"hydra/internal/analysis"
+	"hydra/internal/analysis/load"
+	"hydra/internal/analysis/suite"
+)
+
+// runStandalone loads the packages matched by patterns (relative to dir),
+// runs the full analyzer suite, prints findings to w, and returns how many
+// findings survived suppression.
+func runStandalone(dir string, patterns []string, w io.Writer) (int, error) {
+	pkgs, err := load.GoList(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunPackage(pkg, suite.Analyzers())
+		if err != nil {
+			return total, err
+		}
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+		total += len(findings)
+	}
+	return total, nil
+}

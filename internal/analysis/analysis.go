@@ -1,0 +1,171 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modeled on golang.org/x/tools/go/analysis. It exists because this module
+// deliberately carries no external dependencies: the repo's invariants
+// (deterministic result paths, RNG stream discipline, pooled-buffer safety,
+// the RTA divergence contract, WAL write-before-apply ordering) are encoded
+// as analyzers over go/ast + go/types from the standard library only.
+//
+// The API mirrors x/tools so the analyzers port mechanically if the real
+// framework ever becomes available: an Analyzer has a Name, a Doc, and a Run
+// function over a Pass; diagnostics carry a token.Pos and a message. What is
+// intentionally missing is the facts machinery (no analyzer here needs
+// cross-package facts) and the dependency graph between analyzers.
+//
+// Every diagnostic can be suppressed at the offending line with
+//
+//	//lint:allow <analyzer>[,<analyzer>...] <reason>
+//
+// either trailing on the flagged line or on the line directly above it; see
+// allow.go. Suppressions are the escape hatch for code that violates the
+// letter of an invariant deliberately (e.g. wall-clock reads feeding the
+// machine-relative timing section of a result document).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in lint:allow
+	// annotations. By convention it is a short lowercase word.
+	Name string
+	// Doc is the help text surfaced by `hydra-vet help`: first line is a
+	// one-sentence summary, the rest explains the invariant and the
+	// sanctioned alternatives.
+	Doc string
+	// Run performs the check on one package, reporting findings through
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Path returns the package's import path as it was loaded. Path-scoped
+// analyzers match on suffixes of it (e.g. "internal/engine") so fixture
+// packages under testdata can opt into a scope by mirroring the path shape.
+func (p *Pass) Path() string { return p.Pkg.Path() }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding before position resolution.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a resolved diagnostic as emitted by RunPackage: the analyzer
+// that produced it plus a printable file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// A Package is one loaded, type-checked compilation unit, as produced by the
+// loaders in internal/analysis/load or by the unitchecker mode of
+// cmd/hydra-vet.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// PathHasSuffix reports whether the package path is exactly suffix or ends
+// with "/"+suffix — the matching rule every path-scoped analyzer uses, so
+// that "hydra/internal/engine" and a fixture's "det/internal/engine" are
+// both in scope for "internal/engine".
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// Callee resolves the *types.Func a call expression invokes, or nil for
+// calls through function values, type conversions, and built-ins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgPath.name
+// (not a method). pkgPath is matched exactly for standard-library packages.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// IsMethodOf reports whether fn is a method whose receiver's named type is
+// typeName declared in a package whose path ends in pkgSuffix (via
+// PathHasSuffix), regardless of pointerness.
+func IsMethodOf(fn *types.Func, pkgSuffix, typeName string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && PathHasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// IsNamedType reports whether t (after stripping pointers) is the named type
+// typeName from a package whose path ends in pkgSuffix.
+func IsNamedType(t types.Type, pkgSuffix, typeName string) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && PathHasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package antest runs hydra-vet analyzers over fixture packages in the
+// golang.org/x/tools analysistest layout: fixtures live under
+// <testdata>/src/<importpath>, and every line expecting a diagnostic carries
+// a trailing comment of the form
+//
+//	// want `regexp`
+//
+// (one backquoted regexp per expected diagnostic on that line). Lines with
+// no want comment must produce no diagnostic — so fixtures prove both the
+// true positives and the tricky negatives, and //lint:allow annotations in
+// fixtures prove the escape hatch actually suppresses.
+package antest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"hydra/internal/analysis"
+	"hydra/internal/analysis/load"
+)
+
+var (
+	wantRE  = regexp.MustCompile("// want (`[^`]*`(?: `[^`]*`)*)")
+	quoteRE = regexp.MustCompile("`[^`]*`")
+)
+
+// Run loads each fixture package (resolved under testdata/src) with full
+// type information, runs the analyzer, and compares diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := load.SrcTree(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := loader.LoadFull(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, path, err)
+		}
+		check(t, pkg, findings)
+	}
+}
+
+// wantKey locates one expectation.
+type wantKey struct {
+	file string
+	line int
+}
+
+func check(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	// Collect want expectations from comments.
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, q := range quoteRE.FindAllString(m[1], -1) {
+					expr := strings.Trim(q, "`")
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", position(pos), expr, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+
+	// Match findings to wants.
+	for _, f := range findings {
+		key := wantKey{f.Pos.Filename, f.Pos.Line}
+		matched := -1
+		for i, re := range wants[key] {
+			if re.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", position(f.Pos), f.Analyzer, f.Message)
+			continue
+		}
+		wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", relPath(key.file), key.line, re)
+		}
+	}
+}
+
+func position(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", relPath(pos.Filename), pos.Line)
+}
+
+// relPath trims the testdata prefix for readable failure messages.
+func relPath(file string) string {
+	if i := strings.Index(file, "testdata"); i >= 0 {
+		return file[i:]
+	}
+	return file
+}

@@ -1,0 +1,100 @@
+// Package detpath implements the hydra-vet analyzer that keeps
+// nondeterminism out of deterministic-result packages.
+//
+// The reproduction's core promise is byte-identical replay: the same
+// (seed, results_version, config) must produce the same result document at
+// any worker count, on any machine, forever. Three bug classes quietly break
+// that promise and are only caught today when a frozen fixture diff fires in
+// CI:
+//
+//   - wall-clock reads (time.Now / time.Since) leaking into result fields;
+//   - draws from the shared global math/rand stream, whose state depends on
+//     whatever else the process has drawn;
+//   - iteration over a map, whose order differs run to run.
+//
+// detpath flags all three inside the packages that build deterministic
+// results. Wall-clock reads that feed the explicitly machine-relative
+// `timing` section of a result document (the points/timing split) are the
+// sanctioned exception and carry //lint:allow detpath annotations; map
+// ranges whose bodies are order-insensitive (pure counting/summing) may be
+// annotated likewise, but sorting the keys first is preferred.
+package detpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hydra/internal/analysis"
+)
+
+// Packages lists the path suffixes of the deterministic-result packages in
+// scope. A package is in scope when its import path equals an entry or ends
+// with "/"+entry (so fixture packages can opt in by path shape).
+var Packages = []string{
+	"internal/engine",
+	"internal/experiments",
+	"internal/rts",
+	"internal/stats",
+	"internal/taskgen",
+	"internal/jobs",
+}
+
+// Analyzer is the detpath check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detpath",
+	Doc: `forbid nondeterminism sources in deterministic-result packages
+
+Flags time.Now/time.Since calls, global math/rand draws, and map iteration
+inside the packages whose output must replay byte-identically (internal/
+engine, experiments, rts, stats, taskgen, jobs). Use the engine-provided
+per-cell RNG or stats.VersionedRNG for randomness, sort map keys before
+ranging, and keep wall-clock reads behind //lint:allow detpath annotations
+that name the machine-relative field they feed.`,
+	Run: run,
+}
+
+// globalRandExempt names the math/rand package-level functions that do not
+// draw from the shared global source: constructors, which rngstream (not
+// detpath) polices.
+var globalRandExempt = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, p := range Packages {
+		if analysis.PathHasSuffix(pass.Path(), p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := analysis.Callee(pass.Info, n)
+				if fn == nil {
+					return true
+				}
+				if analysis.IsPkgFunc(fn, "time", "Now") || analysis.IsPkgFunc(fn, "time", "Since") {
+					pass.Reportf(n.Pos(), "wall-clock read time.%s in deterministic-result package %s: results must replay byte-identically; keep wall-clock data in the machine-relative timing section and annotate the read", fn.Name(), pass.Path())
+					return true
+				}
+				if fn.Pkg() != nil && fn.Pkg().Path() == "math/rand" && !globalRandExempt[fn.Name()] {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+						pass.Reportf(n.Pos(), "rand.%s draws from the shared global math/rand stream: derive a generator with stats.VersionedRNG/stats.Split (or use the engine's per-cell RNG) so the draw sequence is owned by a (seed, stream) pair", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic and this package builds deterministic results: collect and sort the keys first (or //lint:allow detpath with the reason the body is order-insensitive)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

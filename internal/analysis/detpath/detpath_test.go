@@ -1,0 +1,15 @@
+package detpath_test
+
+import (
+	"testing"
+
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/detpath"
+)
+
+func TestDetpath(t *testing.T) {
+	antest.Run(t, "testdata", detpath.Analyzer,
+		"det/internal/engine",
+		"det/outofscope",
+	)
+}

@@ -1,0 +1,55 @@
+// Package engine is a detpath fixture: its import path ends in
+// internal/engine, so it is in the deterministic-result scope.
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// bad exercises every true positive.
+func bad(m map[string]int) int {
+	t := time.Now()                    // want `wall-clock read time.Now`
+	_ = time.Since(t)                  // want `wall-clock read time.Since`
+	n := rand.Intn(10)                 // want `shared global math/rand stream`
+	rand.Shuffle(n, func(a, b int) {}) // want `shared global math/rand stream`
+	total := 0
+	for k := range m { // want `map iteration order is nondeterministic`
+		total += len(k)
+	}
+	return total
+}
+
+// allowedTrailing shows the trailing-comment escape hatch.
+func allowedTrailing() time.Time {
+	return time.Now() //lint:allow detpath fixture: feeds a machine-relative timing field
+}
+
+// allowedAbove shows the standalone-comment-above escape hatch.
+func allowedAbove(m map[string]int) {
+	//lint:allow detpath fixture: pure commutative sum, order-insensitive
+	for _, v := range m {
+		_ = v
+	}
+}
+
+// negatives: instance-method draws, constructors (rngstream's business, not
+// detpath's), slice ranges, and sorted-key iteration patterns stay silent.
+func negatives(r *rand.Rand, m map[string]int) []string {
+	_ = r.Intn(10)           // method on an owned generator: fine
+	src := rand.NewSource(1) // constructor: detpath leaves this to rngstream
+	_ = rand.New(src)        // constructor: detpath leaves this to rngstream
+	keys := make([]string, 0, len(m))
+	//lint:allow detpath fixture: keys collected then sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slice range: fine
+		_ = k
+	}
+	var d time.Duration
+	_ = d.String() // time package use that is not a wall-clock read: fine
+	return keys
+}

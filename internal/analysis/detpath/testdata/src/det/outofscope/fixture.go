@@ -1,0 +1,18 @@
+// Package outofscope proves detpath's scoping: this path matches no
+// deterministic-result package, so nothing here is flagged.
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocky(m map[string]int) int {
+	t := time.Now()
+	_ = time.Since(t)
+	n := rand.Intn(10)
+	for range m {
+		n++
+	}
+	return n
+}

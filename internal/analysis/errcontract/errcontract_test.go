@@ -1,0 +1,15 @@
+package errcontract_test
+
+import (
+	"testing"
+
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/errcontract"
+)
+
+func TestErrcontract(t *testing.T) {
+	antest.Run(t, "testdata", errcontract.Analyzer,
+		"ec/caller",
+		"ec/internal/rts",
+	)
+}

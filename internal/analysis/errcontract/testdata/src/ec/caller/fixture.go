@@ -1,0 +1,71 @@
+// Package caller is the errcontract fixture exercising every way a caller
+// can lose the converged verdict, plus the patterns that honor it.
+package caller
+
+import "ec/internal/rts"
+
+// dropEverything discards all results in statement position.
+func dropEverything() {
+	rts.ResponseTimeFull(3, 10) // want `all results of ResponseTimeFull discarded`
+}
+
+// blankConverged assigns the verdict to _.
+func blankConverged() (int, bool) {
+	rt, ok, _ := rts.ResponseTimeFull(3, 10) // want `converged result of ResponseTimeFull assigned to _`
+	return rt, ok
+}
+
+// neverRead binds the verdict but only compiler-silences it, which is the
+// same fold in disguise.
+func neverRead() (int, bool) {
+	rt, ok, conv := rts.ExactSecurityResponseTimeFull(3, 10) // want `assigned to conv but never read`
+	_ = conv
+	return rt, ok
+}
+
+// allowedFold is the documented legacy-wrapper idiom.
+func allowedFold() (int, bool) {
+	rt, ok, _ := rts.ResponseTimeFull(3, 10) //lint:allow errcontract fixture: documented legacy fold
+	return rt, ok
+}
+
+// branches honors the contract by branching on the verdict.
+func branches() (int, bool) {
+	rt, ok, conv := rts.ResponseTimeFull(3, 10)
+	if !conv {
+		return 0, false
+	}
+	return rt, ok
+}
+
+// forwards honors the contract by handing the verdict to the caller.
+func forwards() (int, bool, bool) {
+	length, conv := rts.BusyPeriodFull(7)
+	return length, true, conv
+}
+
+// twoResult covers the two-result Full variant's blank case.
+func twoResult() int {
+	length, _ := rts.BusyPeriodFull(7) // want `converged result of BusyPeriodFull assigned to _`
+	return length
+}
+
+// ResponseTimeFull here shadows the tracked name in a package that is not
+// internal/rts: calls to it are not findings.
+func ResponseTimeFull(c int) (int, bool, bool) {
+	return c, true, true
+}
+
+type analyzer struct{}
+
+// BusyPeriodFull as a method is likewise outside the contract.
+func (analyzer) BusyPeriodFull(c int) (int, bool) {
+	return c, true
+}
+
+// negatives calls the local shadow and the method in statement position.
+func negatives() {
+	ResponseTimeFull(3)
+	var a analyzer
+	a.BusyPeriodFull(7)
+}

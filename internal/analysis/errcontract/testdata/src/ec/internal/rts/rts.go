@@ -1,0 +1,20 @@
+// Package rts is an errcontract fixture standing in for the real
+// internal/rts: it defines the Full-contract analyses whose trailing result
+// is the converged verdict.
+package rts
+
+func ResponseTimeFull(c, period int) (rt int, schedulable, converged bool) {
+	return c, true, true
+}
+
+func ExactSecurityResponseTimeFull(c, period int) (rt int, schedulable, converged bool) {
+	return c, true, true
+}
+
+func BusyPeriodFull(c int) (length int, converged bool) {
+	return c, true
+}
+
+func ResponseTimeWithJitterBlockingFull(c, jitter int) (rt int, schedulable, converged bool) {
+	return c, true, true
+}

@@ -1,0 +1,275 @@
+// Package load type-checks Go packages for the hydra-vet analyzers using
+// only the standard library: package metadata comes from `go list -deps
+// -json` (or, for test fixtures, from scanning a source tree), and types
+// come from go/types checking the actual sources. Dependencies are checked
+// with IgnoreFuncBodies — analyzers only need their exported API shapes —
+// while target packages are checked fully with a populated types.Info.
+//
+// Checking from source (rather than reading compiler export data) is what
+// lets the whole pipeline run without golang.org/x/tools: the standard
+// library's own sources under GOROOT type-check with the toolchain that
+// ships them. CGO_ENABLED=0 is forced so every package resolves to its pure
+// Go file set.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"hydra/internal/analysis"
+)
+
+// meta records where one package's sources live and how its imports resolve.
+type meta struct {
+	dir       string
+	goFiles   []string
+	importMap map[string]string // source import path -> resolved package path
+	goVersion string
+	full      bool // type-check bodies and build an analysis.Package
+}
+
+// Loader lazily type-checks packages by path.
+type Loader struct {
+	fset     *token.FileSet
+	metas    map[string]*meta
+	types    map[string]*types.Package
+	full     map[string]*analysis.Package
+	checking map[string]bool
+	// roots, when non-empty, enables lazy source-tree resolution (antest
+	// fixtures): a package path is looked up under each root in order,
+	// then under GOROOT/src and GOROOT/src/vendor.
+	roots []string
+}
+
+func newLoader() *Loader {
+	return &Loader{
+		fset:     token.NewFileSet(),
+		metas:    map[string]*meta{},
+		types:    map[string]*types.Package{},
+		full:     map[string]*analysis.Package{},
+		checking: map[string]bool{},
+	}
+}
+
+// toolchainGoVersion returns the running toolchain's language version in the
+// form go/types accepts, or "" when it cannot be determined (devel builds).
+func toolchainGoVersion() string {
+	v := runtime.Version()
+	if strings.HasPrefix(v, "go1") {
+		return v
+	}
+	return ""
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// GoList loads the packages matched by patterns (run in dir, e.g. "." and
+// "./..."), type-checks them and their dependency closure, and returns the
+// matched packages sorted by import path, ready for analysis.RunPackage.
+func GoList(dir string, patterns []string) ([]*analysis.Package, error) {
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list %s: %v", strings.Join(patterns, " "), err)
+	}
+
+	l := newLoader()
+	toolVersion := toolchainGoVersion()
+	var targets []string
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		goVersion := toolVersion
+		if !p.Standard && p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		l.metas[p.ImportPath] = &meta{
+			dir:       p.Dir,
+			goFiles:   p.GoFiles,
+			importMap: p.ImportMap,
+			goVersion: goVersion,
+			full:      !p.DepOnly,
+		}
+		if !p.DepOnly {
+			targets = append(targets, p.ImportPath)
+		}
+	}
+	sort.Strings(targets)
+
+	var pkgs []*analysis.Package
+	for _, path := range targets {
+		if _, err := l.ensure(path); err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, l.full[path])
+	}
+	return pkgs, nil
+}
+
+// SrcTree returns a loader that resolves package paths by scanning source
+// directories: first each of roots (in order), then GOROOT/src and
+// GOROOT/src/vendor. It backs the antest fixture runner, where fixture
+// packages live under testdata/src/<importpath> in the analysistest layout.
+func SrcTree(roots ...string) *Loader {
+	l := newLoader()
+	l.roots = roots
+	return l
+}
+
+// LoadFull type-checks the package at path (resolved against the loader's
+// roots) with function bodies and full type information.
+func (l *Loader) LoadFull(path string) (*analysis.Package, error) {
+	if m, err := l.resolve(path); err != nil {
+		return nil, err
+	} else {
+		m.full = true
+	}
+	// The package may already have been checked in dependency mode (bodies
+	// ignored, no info) because an earlier fixture imported it; drop that
+	// result so ensure re-checks it fully. Packages that imported the old
+	// *types.Package keep it — both describe the same sources.
+	if l.full[path] == nil {
+		delete(l.types, path)
+	}
+	if _, err := l.ensure(path); err != nil {
+		return nil, err
+	}
+	return l.full[path], nil
+}
+
+// resolve finds or creates the meta for path in source-tree mode.
+func (l *Loader) resolve(path string) (*meta, error) {
+	if m, ok := l.metas[path]; ok {
+		return m, nil
+	}
+	if len(l.roots) == 0 {
+		return nil, fmt.Errorf("package %s not in go list output", path)
+	}
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	roots := append(append([]string{}, l.roots...),
+		filepath.Join(ctx.GOROOT, "src"), filepath.Join(ctx.GOROOT, "src", "vendor"))
+	for _, root := range roots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		bp, err := ctx.ImportDir(dir, 0)
+		if err != nil {
+			return nil, fmt.Errorf("resolve %s in %s: %v", path, dir, err)
+		}
+		m := &meta{dir: dir, goFiles: bp.GoFiles, goVersion: toolchainGoVersion()}
+		l.metas[path] = m
+		return m, nil
+	}
+	return nil, fmt.Errorf("package %s not found under %s", path, strings.Join(roots, ", "))
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ensure type-checks path (once), recursing through its imports.
+func (l *Loader) ensure(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tp, ok := l.types[path]; ok {
+		return tp, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	m, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+
+	mode := parser.SkipObjectResolution
+	if m.full {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range m.goFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{
+		IgnoreFuncBodies: !m.full,
+		GoVersion:        m.goVersion,
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if resolved, ok := m.importMap[imp]; ok {
+				imp = resolved
+			}
+			return l.ensure(imp)
+		}),
+		Sizes: types.SizesFor("gc", build.Default.GOARCH),
+	}
+	var info *types.Info
+	if m.full {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+	}
+	tp, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	l.types[path] = tp
+	if m.full {
+		l.full[path] = &analysis.Package{
+			Path:  path,
+			Fset:  l.fset,
+			Files: files,
+			Types: tp,
+			Info:  info,
+		}
+	}
+	return tp, nil
+}

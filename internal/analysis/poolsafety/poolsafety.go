@@ -1,0 +1,203 @@
+// Package poolsafety implements the hydra-vet analyzer guarding sync.Pool
+// use.
+//
+// Two bug classes have bitten (or been deliberately engineered around) in
+// this repo's pooled hot paths:
+//
+//   - returning a pooled object to the caller while also returning it to the
+//     pool in the same function: the referent escapes past its Put, so a
+//     future Get hands two goroutines the same backing memory;
+//   - decoding JSON into a pooled struct: encoding/json reuses the backing
+//     arrays of existing slices without zeroing the tail, so a request that
+//     omits a field silently inherits stale elements from whatever request
+//     used the struct last. The service layer deliberately pools only
+//     decode *buffers*, never request structs, for exactly this reason.
+//
+// poolsafety flags both patterns wherever a function both acquires from a
+// sync.Pool and releases to it. The sanctioned idioms — acquire/release
+// helper pairs where Get and Put live in different functions, and pooled
+// bytes.Buffer scratch — are untouched.
+package poolsafety
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hydra/internal/analysis"
+)
+
+// Analyzer is the poolsafety check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafety",
+	Doc: `forbid pooled values escaping past Put and JSON decoding into pooled structs
+
+Flags (1) returning a sync.Pool Get result from a function that also Puts it
+(deferred, or earlier in the same block) — the referent escapes past its
+release and a future Get aliases live memory; (2) json.Unmarshal or
+(*json.Decoder).Decode into a value obtained from a sync.Pool — encoding/json
+reuses slice backing arrays without zeroing, leaking stale elements into
+requests that omit fields. Pool scratch buffers, not decode targets.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// poolCall returns the called method's name ("Get"/"Put") when call invokes
+// a method on sync.Pool, else "".
+func poolCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.Callee(pass.Info, call)
+	if analysis.IsMethodOf(fn, "sync", "Pool") {
+		return fn.Name()
+	}
+	return ""
+}
+
+// baseIdentObj unwraps parens, unary &, type assertions and slicing to the
+// underlying identifier's object, or nil.
+func baseIdentObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op.String() != "&" {
+				return nil
+			}
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			return pass.Info.Uses[x]
+		default:
+			return nil
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Pass 1: objects assigned from pool.Get() (optionally type-asserted).
+	pooled := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			e := ast.Unparen(rhs)
+			if ta, ok := e.(*ast.TypeAssertExpr); ok {
+				e = ast.Unparen(ta.X)
+			}
+			call, ok := e.(*ast.CallExpr)
+			if !ok || poolCall(pass, call) != "Get" {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if obj := objOf(pass, id); obj != nil {
+				pooled[obj] = true
+			}
+		}
+		return true
+	})
+	if len(pooled) == 0 {
+		return
+	}
+
+	// Pass 2a: deferred Puts cover every return in the function.
+	deferred := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if poolCall(pass, ds.Call) == "Put" && len(ds.Call.Args) == 1 {
+			if obj := baseIdentObj(pass, ds.Call.Args[0]); obj != nil && pooled[obj] {
+				deferred[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkDecode(pass, n, pooled)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if obj := baseIdentObj(pass, res); obj != nil && deferred[obj] {
+					pass.Reportf(res.Pos(), "pooled %s is returned to the caller but a deferred Put releases it to the pool: the referent escapes past its release and a future Get will alias it", obj.Name())
+				}
+			}
+		case *ast.BlockStmt:
+			checkPutThenReturn(pass, n.List, pooled)
+		case *ast.CaseClause:
+			checkPutThenReturn(pass, n.Body, pooled)
+		case *ast.CommClause:
+			checkPutThenReturn(pass, n.Body, pooled)
+		}
+		return true
+	})
+}
+
+// checkPutThenReturn flags a return of a pooled object appearing after a
+// non-deferred Put of it in the same statement list (straight-line escape
+// past release). Puts on one branch with the return on another — the
+// release-on-error-path idiom — are in different lists and not flagged.
+func checkPutThenReturn(pass *analysis.Pass, stmts []ast.Stmt, pooled map[types.Object]bool) {
+	put := map[types.Object]bool{}
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && poolCall(pass, call) == "Put" && len(call.Args) == 1 {
+				if obj := baseIdentObj(pass, call.Args[0]); obj != nil && pooled[obj] {
+					put[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if obj := baseIdentObj(pass, res); obj != nil && put[obj] {
+					pass.Reportf(res.Pos(), "pooled %s is returned after being Put back to the pool: the caller and a future Get now share the referent", obj.Name())
+				}
+			}
+		}
+	}
+}
+
+// checkDecode flags json.Unmarshal / (*json.Decoder).Decode into a pooled
+// object.
+func checkDecode(pass *analysis.Pass, call *ast.CallExpr, pooled map[types.Object]bool) {
+	fn := analysis.Callee(pass.Info, call)
+	var target ast.Expr
+	switch {
+	case analysis.IsPkgFunc(fn, "encoding/json", "Unmarshal") && len(call.Args) == 2:
+		target = call.Args[1]
+	case analysis.IsMethodOf(fn, "encoding/json", "Decoder") && fn.Name() == "Decode" && len(call.Args) == 1:
+		target = call.Args[0]
+	default:
+		return
+	}
+	if obj := baseIdentObj(pass, target); obj != nil && pooled[obj] {
+		pass.Reportf(target.Pos(), "JSON-decoding into pooled %s: encoding/json reuses slice backing arrays without zeroing, so omitted fields inherit stale elements from the previous user — decode into a fresh value and pool buffers instead", obj.Name())
+	}
+}
+
+// objOf resolves an identifier in either defining or using position.
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}

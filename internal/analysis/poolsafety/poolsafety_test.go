@@ -1,0 +1,12 @@
+package poolsafety_test
+
+import (
+	"testing"
+
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/poolsafety"
+)
+
+func TestPoolsafety(t *testing.T) {
+	antest.Run(t, "testdata", poolsafety.Analyzer, "pool")
+}

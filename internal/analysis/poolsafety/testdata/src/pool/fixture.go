@@ -1,0 +1,96 @@
+// Package pool is a poolsafety fixture: pooled values escaping past Put,
+// JSON decoded into pooled structs, and the sanctioned idioms that must stay
+// silent.
+package pool
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+)
+
+type request struct {
+	Tasks []string
+}
+
+var reqPool = sync.Pool{New: func() any { return new(request) }}
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// escapeDeferred returns a pooled object that a deferred Put releases: the
+// caller and a future Get alias the same memory.
+func escapeDeferred() *request {
+	req := reqPool.Get().(*request)
+	defer reqPool.Put(req)
+	return req // want `escapes past its release`
+}
+
+// escapeStraightLine Puts and then returns in the same statement list.
+func escapeStraightLine() *request {
+	req := reqPool.Get().(*request)
+	req.Tasks = nil
+	reqPool.Put(req)
+	return req // want `caller and a future Get now share the referent`
+}
+
+// decodeIntoPooled unmarshal-targets a pooled struct: omitted fields inherit
+// stale slice elements from the previous user.
+func decodeIntoPooled(data []byte) error {
+	req := reqPool.Get().(*request)
+	defer reqPool.Put(req)
+	if err := json.Unmarshal(data, req); err != nil { // want `JSON-decoding into pooled req`
+		return err
+	}
+	return nil
+}
+
+// decoderIntoPooled is the streaming variant of the same bug.
+func decoderIntoPooled(dec *json.Decoder) error {
+	req := reqPool.Get().(*request)
+	defer reqPool.Put(req)
+	return dec.Decode(req) // want `JSON-decoding into pooled req`
+}
+
+// allowedEscape shows the escape hatch on a finding line.
+func allowedEscape() *request {
+	req := reqPool.Get().(*request)
+	defer reqPool.Put(req)
+	return req //lint:allow poolsafety fixture: caller contract guarantees copy-before-release
+}
+
+// errorPathPut is the sanctioned idiom: Put on the failure branch, return on
+// the success path. The Put and the return live in different statement
+// lists, so nothing escapes past a release.
+func errorPathPut(data []byte) (*bytes.Buffer, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.Write(data); err != nil {
+		bufPool.Put(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// scratchBuffer is the pooled-scratch idiom: the pooled buffer never escapes
+// and the decode target is a fresh stack value.
+func scratchBuffer(data []byte) (request, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	buf.Write(data)
+	var req request
+	err := json.Unmarshal(buf.Bytes(), &req)
+	return req, err
+}
+
+// acquire is half of an acquire/release helper pair: Get without a Put in
+// the same function is the release-elsewhere contract, not a finding.
+func acquire() *request {
+	return reqPool.Get().(*request)
+}
+
+// release is the other half.
+func release(req *request) {
+	req.Tasks = req.Tasks[:0]
+	reqPool.Put(req)
+}

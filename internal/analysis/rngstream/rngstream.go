@@ -1,0 +1,101 @@
+// Package rngstream implements the hydra-vet analyzer that enforces the
+// repo's RNG stream discipline.
+//
+// Worker-count determinism rests on every random stream being derived from a
+// (seed, stream) pair through internal/stats — SplitRNG (v1), Split (v2), or
+// VersionedRNG — never constructed ad hoc and never shared across
+// goroutines. A raw rand.New(rand.NewSource(...)) invents a stream outside
+// the results_version story (its draws can silently diverge between v1 and
+// v2 replays), and a *rand.Rand reaching two goroutines makes the
+// interleaving — and therefore every downstream draw — scheduling-dependent.
+//
+// rngstream flags both: construction of rand.New/rand.NewSource anywhere
+// outside internal/stats, and any *rand.Rand that crosses a goroutine
+// boundary (passed as a `go` call argument or captured by a `go` function
+// literal from an enclosing scope). The sanctioned pattern is to derive a
+// fresh generator inside the goroutine via stats.VersionedRNG or
+// taskgen.GenerateAt's per-shard streams.
+package rngstream
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hydra/internal/analysis"
+)
+
+// ExemptPackage is the path suffix of the one package allowed to construct
+// math/rand generators: the stream-derivation seams themselves live there.
+const ExemptPackage = "internal/stats"
+
+// Analyzer is the rngstream check.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngstream",
+	Doc: `enforce RNG stream discipline: construct in internal/stats, never share across goroutines
+
+Flags rand.New/rand.NewSource construction outside internal/stats (streams
+must be derived from (seed, stream) pairs via stats.Split, stats.SplitRNG or
+stats.VersionedRNG so the results_version story covers them) and any
+*rand.Rand passed to or captured by a goroutine (shared streams make draws
+scheduling-dependent, destroying worker-count determinism — derive a fresh
+generator inside the goroutine instead).`,
+	Run: run,
+}
+
+func isRand(t types.Type) bool {
+	return analysis.IsNamedType(t, "math/rand", "Rand") || analysis.IsNamedType(t, "math/rand", "Source")
+}
+
+func run(pass *analysis.Pass) error {
+	exempt := analysis.PathHasSuffix(pass.Path(), ExemptPackage)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if exempt {
+					return true
+				}
+				fn := analysis.Callee(pass.Info, n)
+				if analysis.IsPkgFunc(fn, "math/rand", "New") || analysis.IsPkgFunc(fn, "math/rand", "NewSource") {
+					pass.Reportf(n.Pos(), "rand.%s constructs a stream outside internal/stats: derive it from a (seed, stream) pair via stats.Split/stats.SplitRNG/stats.VersionedRNG so replay and results_version cover it", fn.Name())
+				}
+			case *ast.GoStmt:
+				checkGo(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGo flags *rand.Rand values crossing the goroutine boundary of g.
+func checkGo(pass *analysis.Pass, g *ast.GoStmt) {
+	// Arguments evaluated in the parent goroutine but handed to the new one.
+	for _, arg := range g.Call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && isRand(tv.Type) {
+			pass.Reportf(arg.Pos(), "generator passed into a goroutine: a *rand.Rand must stay with one goroutine — derive an independent stream inside it (stats.VersionedRNG with its own stream label)")
+		}
+	}
+	// Free variables of a `go func(){...}` literal.
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || seen[obj] || !isRand(obj.Type()) {
+			return true
+		}
+		// Captured iff declared outside the literal.
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			seen[obj] = true
+			pass.Reportf(id.Pos(), "goroutine captures generator %s from the enclosing scope: shared *rand.Rand draws are scheduling-dependent — derive an independent stream inside the goroutine", obj.Name())
+		}
+		return true
+	})
+}

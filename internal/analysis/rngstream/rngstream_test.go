@@ -1,0 +1,15 @@
+package rngstream_test
+
+import (
+	"testing"
+
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/rngstream"
+)
+
+func TestRngstream(t *testing.T) {
+	antest.Run(t, "testdata", rngstream.Analyzer,
+		"rng/worker",
+		"rng/internal/stats",
+	)
+}

@@ -1,0 +1,11 @@
+// Package stats is an rngstream fixture for the exemption: this path ends in
+// internal/stats, the one place allowed to construct math/rand generators.
+package stats
+
+import "math/rand"
+
+// Derive stands in for the real stream-derivation seam: construction here is
+// the sanctioned implementation of the (seed, stream) story, not a finding.
+func Derive(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,50 @@
+// Package worker is an rngstream fixture outside the internal/stats
+// exemption: constructors and goroutine-crossing generators are flagged.
+package worker
+
+import (
+	"math/rand"
+)
+
+// construct exercises the constructor positives.
+func construct() *rand.Rand {
+	src := rand.NewSource(1) // want `constructs a stream outside internal/stats`
+	r := rand.New(src)       // want `constructs a stream outside internal/stats`
+	return r
+}
+
+// allowedConstruct shows the escape hatch.
+func allowedConstruct() rand.Source {
+	return rand.NewSource(42) //lint:allow rngstream fixture: throwaway source for a non-result shuffle
+}
+
+// crossings exercises the goroutine-boundary positives.
+func crossings(r *rand.Rand, src rand.Source, done chan struct{}) {
+	go use(r, done) // want `generator passed into a goroutine`
+	go func() {
+		_ = r.Intn(10) // want `goroutine captures generator r`
+		done <- struct{}{}
+	}()
+	go func() {
+		_ = src.Int63() // want `goroutine captures generator src`
+		done <- struct{}{}
+	}()
+}
+
+// negatives: seeds cross goroutines freely, and a generator declared inside
+// the goroutine body is owned by it.
+func negatives(seed int64, derive func(int64) *rand.Rand, done chan struct{}) {
+	go func(s int64) {
+		local := derive(s)
+		_ = local.Intn(10)
+		done <- struct{}{}
+	}(seed)
+	r := derive(seed)
+	_ = r.Intn(10) // same-goroutine draw: fine
+	done <- struct{}{}
+}
+
+func use(r *rand.Rand, done chan struct{}) {
+	_ = r.Intn(10)
+	done <- struct{}{}
+}

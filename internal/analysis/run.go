@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunPackage runs every analyzer over one loaded package and returns the
+// surviving findings sorted by position.
+//
+// Two filters apply centrally so every driver (standalone hydra-vet, the
+// go vet -vettool unitchecker mode, and the antest fixture runner) behaves
+// identically:
+//
+//   - findings positioned in _test.go files are dropped: the invariants
+//     target production code, and tests legitimately iterate maps, read
+//     wall clocks, and discard contract results while asserting on them;
+//   - findings on a line carrying (or directly below) a matching
+//     //lint:allow annotation are dropped.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		pass.report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if strings.HasSuffix(pos.Filename, "_test.go") {
+				return
+			}
+			if allows.allowed(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,24 @@
+// Package suite assembles the full hydra-vet analyzer set. cmd/hydra-vet
+// and any future golangci-lint plugin shim import this one package instead
+// of the individual analyzers.
+package suite
+
+import (
+	"hydra/internal/analysis"
+	"hydra/internal/analysis/detpath"
+	"hydra/internal/analysis/errcontract"
+	"hydra/internal/analysis/poolsafety"
+	"hydra/internal/analysis/rngstream"
+	"hydra/internal/analysis/walorder"
+)
+
+// Analyzers returns the repo's invariant checks in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detpath.Analyzer,
+		errcontract.Analyzer,
+		poolsafety.Analyzer,
+		rngstream.Analyzer,
+		walorder.Analyzer,
+	}
+}

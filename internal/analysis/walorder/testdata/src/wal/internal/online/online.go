@@ -1,0 +1,14 @@
+// Package online is a walorder fixture standing in for the real
+// internal/online: a System whose mutating methods fall under the
+// write-before-apply contract.
+package online
+
+type System struct {
+	n int
+}
+
+func (s *System) AddRT(id string)       { s.n++ }
+func (s *System) AddSecurity(id string) { s.n++ }
+func (s *System) Remove(id string)      { s.n-- }
+func (s *System) Reallocate(id string)  {}
+func (s *System) Len() int              { return s.n }

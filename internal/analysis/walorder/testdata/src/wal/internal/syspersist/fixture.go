@@ -1,0 +1,57 @@
+// Package syspersist is the walorder fixture: its path ends in
+// internal/syspersist, so every online.System mutation needs a WAL append
+// lexically earlier in the same function.
+package syspersist
+
+import "wal/internal/online"
+
+type store struct {
+	sys *online.System
+}
+
+func (s *store) appendLocked(op string) error { return nil }
+
+// good follows write-before-apply.
+func (s *store) good(id string) error {
+	if err := s.appendLocked("add-rt " + id); err != nil {
+		return err
+	}
+	s.sys.AddRT(id)
+	return nil
+}
+
+// missingAppend applies with no append anywhere in the function.
+func (s *store) missingAppend(id string) {
+	s.sys.AddRT(id) // want `no WAL append earlier in this function`
+}
+
+// applyThenAppend has the append, but after the apply: a crash between the
+// two loses the acknowledged op.
+func (s *store) applyThenAppend(id string) error {
+	s.sys.Remove(id) // want `no WAL append earlier in this function`
+	return s.appendLocked("remove " + id)
+}
+
+// replay is the sanctioned apply-without-append path: the ops are already on
+// the log.
+func (s *store) replay(ops []string) {
+	for _, id := range ops {
+		//lint:allow walorder replaying ops already on the log
+		s.sys.AddSecurity(id)
+	}
+}
+
+// reader never mutates: no finding.
+func (s *store) reader() int {
+	return s.sys.Len()
+}
+
+// localRemove is a tricky negative: Remove on a type that is not
+// online.System is outside the contract.
+type ring struct{ items []string }
+
+func (r *ring) Remove(id string) {}
+
+func (s *store) localRemove(r *ring, id string) {
+	r.Remove(id)
+}

@@ -1,0 +1,10 @@
+// Package outofscope proves walorder's scoping: mutations outside
+// internal/syspersist are some other layer's business.
+package outofscope
+
+import "wal/internal/online"
+
+func mutate(sys *online.System, id string) {
+	sys.AddRT(id)
+	sys.Remove(id)
+}

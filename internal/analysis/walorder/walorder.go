@@ -1,0 +1,90 @@
+// Package walorder implements the hydra-vet analyzer enforcing
+// write-ahead-log ordering in internal/syspersist.
+//
+// The durability contract is write-before-apply: every mutation of a hosted
+// online.System (AddRT, AddSecurity, Remove, Reallocate) must append its op
+// record to the WAL before the op is applied in memory, so an acknowledged
+// decision can never be lost to a crash and replay reconstructs state
+// bit-identically. A new code path that applies first — or forgets the
+// append entirely — silently breaks crash recovery in a way no unit test
+// notices until a kill/recover property test happens to cross it.
+//
+// walorder approximates the contract lexically: inside internal/syspersist,
+// a call to a mutating *online.System method must be preceded, earlier in
+// the same function, by a WAL append call (appendLocked). Replay and
+// recovery paths intentionally apply ops that are already on the log; they
+// carry //lint:allow walorder annotations saying so.
+package walorder
+
+import (
+	"go/ast"
+
+	"hydra/internal/analysis"
+)
+
+// Scope is the path suffix of the package under the WAL contract.
+const Scope = "internal/syspersist"
+
+// MutatingMethods are the *online.System methods that mutate committed
+// state and therefore require a prior WAL append.
+var MutatingMethods = map[string]bool{
+	"AddRT":       true,
+	"AddSecurity": true,
+	"Remove":      true,
+	"Reallocate":  true,
+}
+
+// AppendFuncs are the function/method names recognized as performing the
+// WAL append.
+var AppendFuncs = map[string]bool{"appendLocked": true}
+
+// Analyzer is the walorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walorder",
+	Doc: `require a WAL append before applying any online.System mutation in internal/syspersist
+
+Durability means write-before-apply: AddRT/AddSecurity/Remove/Reallocate on
+a hosted system must be reachable only after the op record was appended to
+events.jsonl (appendLocked), or a crash loses an acknowledged decision.
+Replay paths that apply already-logged ops annotate with //lint:allow
+walorder. The check is a lexical approximation: the append must appear
+earlier in the same function body than the apply.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasSuffix(pass.Path(), Scope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			appended := false
+			// ast.Inspect visits children in source order, so within one
+			// function body a call is visited after every call that
+			// lexically precedes it — the approximation documented above.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.Callee(pass.Info, call)
+				if fn == nil {
+					return true
+				}
+				if AppendFuncs[fn.Name()] {
+					appended = true
+					return true
+				}
+				if MutatingMethods[fn.Name()] && analysis.IsMethodOf(fn, "internal/online", "System") && !appended {
+					pass.Reportf(call.Pos(), "%s applies a system mutation with no WAL append earlier in this function: write-before-apply is the durability contract (append the op record first, or //lint:allow walorder on replay paths)", fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/walorder"
+)
+
+func TestWalorder(t *testing.T) {
+	antest.Run(t, "testdata", walorder.Analyzer,
+		"wal/internal/syspersist",
+		"wal/outofscope",
+	)
+}

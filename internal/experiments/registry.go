@@ -68,6 +68,10 @@ func (s specFunc) Run(ctx context.Context, config json.RawMessage, h Hooks) (any
 var (
 	specMu   sync.RWMutex
 	specRegn = map[string]Spec{}
+	// specNames mirrors specRegn's keys in sorted order, maintained at
+	// registration time so no reader ever iterates the map: catalogue order
+	// is deterministic by construction, not by a sort bolted onto each call.
+	specNames []string
 )
 
 // RegisterSpec adds a spec to the global registry. Like core.Register it
@@ -84,6 +88,10 @@ func RegisterSpec(s Spec) {
 		panic(fmt.Sprintf("experiments: RegisterSpec called twice for spec %q", name))
 	}
 	specRegn[name] = s
+	i := sort.SearchStrings(specNames, name)
+	specNames = append(specNames, "")
+	copy(specNames[i+1:], specNames[i:])
+	specNames[i] = name
 }
 
 // LookupSpec returns the registered spec with the given name.
@@ -108,11 +116,8 @@ func ResolveSpec(name string) (Spec, error) {
 func SpecNames() []string {
 	specMu.RLock()
 	defer specMu.RUnlock()
-	out := make([]string, 0, len(specRegn))
-	for name := range specRegn {
-		out = append(out, name)
-	}
-	sort.Strings(out)
+	out := make([]string, len(specNames))
+	copy(out, specNames)
 	return out
 }
 

@@ -213,7 +213,7 @@ func (m *Manager) launch(j *Job) {
 		ctx, cancel := context.WithCancel(m.ctx)
 		j.cancel = cancel
 		j.state = StateRunning
-		j.started = time.Now()
+		j.started = time.Now() //lint:allow detpath job wall-clock start feeds status/ETA reporting, never campaign results
 		j.notifyLocked()
 		j.mu.Unlock()
 		defer cancel()
@@ -297,6 +297,7 @@ func (m *Manager) Get(id string) (Status, bool) {
 func (m *Manager) List() []Status {
 	m.mu.Lock()
 	js := make([]*Job, 0, len(m.jobs))
+	//lint:allow detpath jobs are sorted by id immediately below
 	for _, j := range m.jobs {
 		js = append(js, j)
 	}
@@ -342,6 +343,7 @@ func (m *Manager) Counters() Counters {
 	m.mu.Lock()
 	c := Counters{Submitted: m.submitted, Resumed: m.resumed, CellsCompleted: m.cells}
 	js := make([]*Job, 0, len(m.jobs))
+	//lint:allow detpath commutative counter sums; visit order cannot change the totals
 	for _, j := range m.jobs {
 		js = append(js, j)
 	}
@@ -393,7 +395,7 @@ func (m *Manager) snapshot(j *Job) Status {
 	// even marshal). EtaMS stays 0 (omitted) until the first fresh cell
 	// completes after a measurable interval.
 	if j.state == StateRunning && j.prog.Total > j.prog.Done && j.fresh > 0 && !j.started.IsZero() {
-		if elapsed := time.Since(j.started); elapsed > 0 {
+		if elapsed := time.Since(j.started); elapsed > 0 { //lint:allow detpath ETA is advisory wall-clock status, not a deterministic result
 			perCell := elapsed / time.Duration(j.fresh)
 			s.EtaMS = float64(time.Duration(j.prog.Total-j.prog.Done)*perCell) / float64(time.Millisecond)
 		}

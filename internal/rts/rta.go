@@ -22,7 +22,7 @@ const MaxRTAIterations = 10000
 // response time. Callers that need to tell the two apart (e.g. to report a
 // diagnostic instead of a miss) use ResponseTimeFull.
 func ResponseTime(c Time, d Time, hp []RTTask) (Time, bool) {
-	r, schedulable, _ := ResponseTimeFull(c, d, hp)
+	r, schedulable, _ := ResponseTimeFull(c, d, hp) //lint:allow errcontract documented legacy fold: both outcomes are safely treated as a miss
 	return r, schedulable
 }
 

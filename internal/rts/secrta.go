@@ -27,7 +27,7 @@ type InterferingTask struct {
 // within MaxRTAIterations; callers that need to distinguish them use
 // ExactSecurityResponseTimeFull.
 func ExactSecurityResponseTime(c Time, d Time, hp []InterferingTask) (Time, bool) {
-	r, schedulable, _ := ExactSecurityResponseTimeFull(c, d, hp)
+	r, schedulable, _ := ExactSecurityResponseTimeFull(c, d, hp) //lint:allow errcontract documented legacy fold: both outcomes are safely treated as a miss
 	return r, schedulable
 }
 

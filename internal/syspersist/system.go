@@ -224,16 +224,16 @@ func applyRecord(sys *online.System, rec Record) error {
 		if rec.RT == nil {
 			return fmt.Errorf("syspersist: op %d: add-rt without rt payload", rec.Seq)
 		}
-		_, _ = sys.AddRT(rtFromJSON(*rec.RT))
+		_, _ = sys.AddRT(rtFromJSON(*rec.RT)) //lint:allow walorder replay applies an op already on the log
 	case OpAddSecurity:
 		if rec.Security == nil {
 			return fmt.Errorf("syspersist: op %d: add-security without security payload", rec.Seq)
 		}
-		_, _ = sys.AddSecurity(secFromJSON(*rec.Security))
+		_, _ = sys.AddSecurity(secFromJSON(*rec.Security)) //lint:allow walorder replay applies an op already on the log
 	case OpRemove:
-		_, _ = sys.Remove(rec.Task)
+		_, _ = sys.Remove(rec.Task) //lint:allow walorder replay applies an op already on the log
 	case OpReallocate:
-		_, _ = sys.Reallocate()
+		_, _ = sys.Reallocate() //lint:allow walorder replay applies an op already on the log
 	default:
 		return fmt.Errorf("syspersist: op %d: unknown op %q", rec.Seq, rec.Op)
 	}
