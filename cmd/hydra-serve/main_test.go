@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"testing"
@@ -54,7 +55,7 @@ func startServer(t *testing.T, args ...string) (string, <-chan error) {
 	addrCh := make(chan net.Addr, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), io.Discard, func(a net.Addr) { addrCh <- a })
+		errCh <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), io.Discard, func(a net.Addr) { addrCh <- a }, nil)
 	}()
 	select {
 	case a := <-addrCh:
@@ -461,14 +462,14 @@ type SystemListProbe struct {
 }
 
 func TestBadFlags(t *testing.T) {
-	if err := run([]string{"-bogus"}, io.Discard, nil); err == nil {
+	if err := run([]string{"-bogus"}, io.Discard, nil, nil); err == nil {
 		t.Fatal("unknown flag must error")
 	}
-	if err := run([]string{"-addr", "256.256.256.256:99999"}, io.Discard, nil); err == nil {
+	if err := run([]string{"-addr", "256.256.256.256:99999"}, io.Discard, nil, nil); err == nil {
 		t.Fatal("unlistenable address must error")
 	}
 	for _, stripes := range []string{"-1", "-17", "257", "100000"} {
-		err := run([]string{"-cache-stripes", stripes}, io.Discard, nil)
+		err := run([]string{"-cache-stripes", stripes}, io.Discard, nil, nil)
 		if err == nil {
 			t.Fatalf("-cache-stripes %s must error", stripes)
 		}
@@ -477,7 +478,7 @@ func TestBadFlags(t *testing.T) {
 		}
 	}
 	for _, shards := range []string{"-1", "257", "100000"} {
-		err := run([]string{"-system-shards", shards}, io.Discard, nil)
+		err := run([]string{"-system-shards", shards}, io.Discard, nil, nil)
 		if err == nil {
 			t.Fatalf("-system-shards %s must error", shards)
 		}
@@ -485,6 +486,141 @@ func TestBadFlags(t *testing.T) {
 			t.Fatalf("-system-shards %s: error %q does not name the flag", shards, err)
 		}
 	}
+	for flagArgs, name := range map[string]string{
+		"-trace-sample,-1":                  "trace-sample",
+		"-log-level,loud":                   "log-level",
+		"-log-format,yaml":                  "log-format",
+		"-debug-addr,256.256.256.256:99999": "debug listener",
+	} {
+		args := strings.Split(flagArgs, ",")
+		if name == "debug listener" {
+			args = append([]string{"-addr", "127.0.0.1:0"}, args...)
+		}
+		err := run(args, io.Discard, nil, nil)
+		if err == nil {
+			t.Fatalf("%v must error", args)
+		}
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("%v: error %q does not name %q", args, err, name)
+		}
+	}
+}
+
+// TestDebugListenerServesOperationalSurface: -debug-addr brings up a second
+// listener with /metrics, the trace ring and pprof; the API port serves
+// /metrics too but never pprof.
+func TestDebugListenerServesOperationalSurface(t *testing.T) {
+	debugCh := make(chan net.Addr, 1)
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-trace-sample", "1"},
+			io.Discard, func(a net.Addr) { addrCh <- a }, func(a net.Addr) { debugCh <- a })
+	}()
+	var base, debugBase string
+	for i := 0; i < 2; i++ {
+		select {
+		case a := <-addrCh:
+			base = "http://" + a.String()
+		case a := <-debugCh:
+			debugBase = "http://" + a.String()
+		case err := <-errCh:
+			t.Fatalf("server exited before binding: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("listeners did not come up")
+		}
+	}
+
+	// Traffic so the trace ring and request counters have content.
+	if code, raw := postJSON(t, base+"/v1/allocate", fmt.Sprintf(`{"taskset": %s}`, serveSampleTaskset)); code != 200 {
+		t.Fatalf("allocate: %d %s", code, raw)
+	}
+
+	code, raw := getRaw(t, debugBase+"/metrics")
+	if code != 200 || !strings.Contains(string(raw), "hydra_http_requests_total") {
+		t.Fatalf("debug /metrics: %d %.200s", code, raw)
+	}
+	var traces struct {
+		Traces []struct {
+			Route string `json:"route"`
+		} `json:"traces"`
+	}
+	if code := getJSON(t, debugBase+"/v1/debug/traces", &traces); code != 200 {
+		t.Fatalf("debug traces: %d", code)
+	}
+	if len(traces.Traces) == 0 {
+		t.Fatal("trace ring empty with -trace-sample 1")
+	}
+	if code, _ := getRaw(t, debugBase+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("debug pprof cmdline: %d", code)
+	}
+	if code, raw := getRaw(t, base+"/metrics"); code != 200 || !strings.Contains(string(raw), "hydra_go_goroutines") {
+		t.Fatalf("API /metrics: %d %.200s", code, raw)
+	}
+	if code, _ := getRaw(t, base+"/debug/pprof/cmdline"); code == 200 {
+		t.Fatal("pprof must not be served on the API port")
+	}
+
+	interrupt(t)
+	waitExit(t, errCh)
+}
+
+// TestStructuredLogs: lifecycle logs come out as JSON when asked, and
+// -log-level debug turns on the per-request access log with the request id.
+func TestStructuredLogs(t *testing.T) {
+	var buf syncBuffer
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0", "-log-format", "json", "-log-level", "debug", "-trace-sample", "1"},
+			&buf, func(a net.Addr) { addrCh <- a }, nil)
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-errCh:
+		t.Fatalf("server exited before binding: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	if code, raw := postJSON(t, base+"/v1/allocate", fmt.Sprintf(`{"taskset": %s}`, serveSampleTaskset)); code != 200 {
+		t.Fatalf("allocate: %d %s", code, raw)
+	}
+	interrupt(t)
+	waitExit(t, errCh)
+
+	out := buf.String()
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+	}
+	for _, want := range []string{`"msg":"listening"`, `"msg":"request"`, `"route":"POST /v1/allocate"`, `"request_id":`, `"msg":"stopped"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the slog handler writes from
+// the serve goroutine while the test reads after exit.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // TestCacheStripesFlagAccepted: valid stripe counts (including the explicit

@@ -30,11 +30,19 @@ func writeViolatingModule(t *testing.T) string {
 	dir := t.TempDir()
 	files := map[string]string{
 		"go.mod": "module example.com/victim\n\ngo 1.23\n",
+		"internal/obs/obs.go": `package obs
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+`,
 		"internal/engine/bad.go": `package engine
 
 import (
 	"math/rand"
 	"time"
+
+	"example.com/victim/internal/obs"
 )
 
 func Bad(m map[string]int) int {
@@ -44,6 +52,10 @@ func Bad(m map[string]int) int {
 		n++
 	}
 	return n
+}
+
+func BadObs(h *obs.Histogram) {
+	h.Observe(1.5)
 }
 `,
 	}
@@ -69,11 +81,11 @@ func TestStandaloneFindsViolations(t *testing.T) {
 	if err != nil {
 		t.Fatalf("runStandalone: %v", err)
 	}
-	if n != 3 {
-		t.Fatalf("got %d findings, want 3 (time.Now, rand.Intn, map range):\n%s", n, buf.String())
+	if n != 4 {
+		t.Fatalf("got %d findings, want 4 (time.Now, rand.Intn, map range, obs histogram):\n%s", n, buf.String())
 	}
 	out := buf.String()
-	for _, want := range []string{"time.Now", "math/rand", "map iteration"} {
+	for _, want := range []string{"time.Now", "math/rand", "map iteration", "count-only observability"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("findings missing %q:\n%s", want, out)
 		}
@@ -119,6 +131,8 @@ func TestVettoolProtocol(t *testing.T) {
 		"n := rand.Intn(10) //lint:allow detpath test fixture")
 	fixed = strings.ReplaceAll(fixed, "for range m {",
 		"//lint:allow detpath test fixture\n\tfor range m {")
+	fixed = strings.ReplaceAll(fixed, "h.Observe(1.5)",
+		"h.Observe(1.5) //lint:allow obsbound test fixture")
 	if err := os.WriteFile(bad, []byte(fixed), 0o666); err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +147,7 @@ func TestVettoolProtocol(t *testing.T) {
 func TestHelpListsAnalyzers(t *testing.T) {
 	var buf bytes.Buffer
 	printHelp(&buf)
-	for _, name := range []string{"detpath", "errcontract", "poolsafety", "rngstream", "walorder"} {
+	for _, name := range []string{"detpath", "errcontract", "obsbound", "poolsafety", "rngstream", "walorder"} {
 		if !strings.Contains(buf.String(), name+":") {
 			t.Errorf("help output missing analyzer %s:\n%s", name, buf.String())
 		}

@@ -1,0 +1,87 @@
+// Package obsbound implements the hydra-vet analyzer that keeps the
+// observability layer's timing surface out of deterministic-result packages.
+//
+// The obs package carries two kinds of instruments. Counters are pure event
+// counts — recording one is an atomic add with no clock read, so a
+// deterministic package can count fixed-point iterations or warm starts
+// without its results depending on the machine. Everything else (gauges,
+// histogram observations, request tracing, registry wiring) either reads a
+// clock, samples runtime state, or belongs to the serving layer — and a
+// clock read on a deterministic path is exactly the bug class detpath
+// exists to keep out (latency numbers leaking into result documents, or
+// timing-dependent control flow).
+//
+// obsbound enforces the boundary mechanically: inside the deterministic-
+// result packages (the detpath scope), the only obs API calls allowed are
+// the count-only ones — Registry.Counter/CounterFunc and
+// Counter.Inc/Add/Value. Histograms over deterministic counts are still
+// exportable: keep plain counters in the package and bridge them at the
+// service layer via obs.ConstHistogram (see the RTA iteration buckets).
+package obsbound
+
+import (
+	"go/ast"
+
+	"hydra/internal/analysis"
+	"hydra/internal/analysis/detpath"
+)
+
+// obsPkgSuffix identifies the observability package by path shape, so
+// fixture packages can stand in for the real one.
+const obsPkgSuffix = "internal/obs"
+
+// countOnly is the allowlist: the obs functions and methods with pure
+// counter semantics (no clock, no runtime sampling, no tracing).
+var countOnly = map[string]bool{
+	"Counter":     true, // Registry.Counter
+	"CounterFunc": true, // Registry.CounterFunc
+	"Inc":         true, // Counter.Inc
+	"Add":         true, // Counter.Add
+	"Value":       true, // Counter.Value
+}
+
+// Analyzer is the obsbound check.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsbound",
+	Doc: `restrict deterministic-result packages to count-only observability
+
+Inside the detpath scope (internal/engine, experiments, rts, stats, taskgen,
+jobs), the only obs package calls allowed are counter operations:
+Registry.Counter/CounterFunc and Counter.Inc/Add/Value. Histogram
+observations, gauges, tracing and registry wiring read clocks or runtime
+state and belong to the service and persistence layers; export
+deterministic counts as plain counters and bridge them into histograms with
+obs.ConstHistogram at the service layer instead.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, p := range detpath.Packages {
+		if analysis.PathHasSuffix(pass.Path(), p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || !analysis.PathHasSuffix(fn.Pkg().Path(), obsPkgSuffix) {
+				return true
+			}
+			if countOnly[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "obs.%s is outside the count-only observability surface allowed in deterministic-result package %s: gauges, histogram observations, tracing and registry wiring read clocks or runtime state — keep plain counters here and bridge them at the service layer (obs.ConstHistogram)", fn.Name(), pass.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package obsbound_test
+
+import (
+	"testing"
+
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/obsbound"
+)
+
+func TestObsbound(t *testing.T) {
+	antest.Run(t, "testdata", obsbound.Analyzer,
+		"ob/internal/rts",
+		"ob/outofscope",
+	)
+}

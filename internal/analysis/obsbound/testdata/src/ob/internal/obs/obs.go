@@ -1,0 +1,48 @@
+// Package obs is an obsbound fixture standing in for the real
+// observability package: its import path ends in internal/obs, which is how
+// the analyzer identifies it.
+package obs
+
+// Counter mirrors the count-only instrument.
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc()          { c.n++ }
+func (c *Counter) Add(n uint64)  { c.n += n }
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge mirrors the instantaneous-value instrument.
+type Gauge struct{ v float64 }
+
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Histogram mirrors the timing instrument.
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64)        {}
+func (h *Histogram) ObserveDuration(ns int64) {}
+
+// Registry mirrors the metric registry.
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name, labels, help string) *Counter                  { return &Counter{} }
+func (r *Registry) CounterFunc(name, labels, help string, fn func() uint64)     {}
+func (r *Registry) Gauge(name, labels, help string) *Gauge                      { return &Gauge{} }
+func (r *Registry) Histogram(name, labels, help string, b []float64) *Histogram { return &Histogram{} }
+
+// Tracer mirrors the request tracer.
+type Tracer struct{}
+
+func NewTracer(ring int) *Tracer                { return &Tracer{} }
+func (t *Tracer) Start(route, id string) *Trace { return nil }
+
+// Trace mirrors one sampled request trace.
+type Trace struct{}
+
+func (t *Trace) StartSpan(name string) Span { return Span{} }
+
+// Span mirrors one trace span.
+type Span struct{}
+
+func (s Span) End() {}

@@ -1,0 +1,35 @@
+// Package rts is an obsbound fixture: its import path ends in internal/rts,
+// so it is inside the deterministic-result scope.
+package rts
+
+import "ob/internal/obs"
+
+// counts exercises the full count-only allowlist: every line here must stay
+// silent.
+func counts(r *obs.Registry, c *obs.Counter) uint64 {
+	fixed := r.Counter("rta_fixed_points_total", "", "RTA fixed points.")
+	r.CounterFunc("rta_warm_starts_total", "", "Warm starts.", func() uint64 { return 0 })
+	fixed.Inc()
+	c.Add(3)
+	return c.Value()
+}
+
+// timingSurface exercises every true positive: gauges, histogram
+// observations, tracing, and registry wiring.
+func timingSurface(r *obs.Registry, h *obs.Histogram, tr *obs.Tracer) {
+	_ = obs.NewRegistry()           // want `obs.NewRegistry is outside the count-only observability surface`
+	g := r.Gauge("depth", "", "")   // want `obs.Gauge is outside the count-only observability surface`
+	g.Set(4)                        // want `obs.Set is outside the count-only observability surface`
+	r.Histogram("lat", "", "", nil) // want `obs.Histogram is outside the count-only observability surface`
+	h.Observe(0.5)                  // want `obs.Observe is outside the count-only observability surface`
+	h.ObserveDuration(100)          // want `obs.ObserveDuration is outside the count-only observability surface`
+	_ = obs.NewTracer(16)           // want `obs.NewTracer is outside the count-only observability surface`
+	t := tr.Start("route", "id")    // want `obs.Start is outside the count-only observability surface`
+	sp := t.StartSpan("phase")      // want `obs.StartSpan is outside the count-only observability surface`
+	sp.End()                        // want `obs.End is outside the count-only observability surface`
+}
+
+// allowed shows the escape hatch.
+func allowed(h *obs.Histogram) {
+	h.Observe(1) //lint:allow obsbound fixture: test-only bridge, value is a count not a time
+}

@@ -1,0 +1,17 @@
+// Package outofscope proves obsbound's scoping: the serving layer may use
+// the whole observability surface.
+package outofscope
+
+import "ob/internal/obs"
+
+func wire(tr *obs.Tracer) {
+	r := obs.NewRegistry()
+	h := r.Histogram("lat", "", "", nil)
+	h.Observe(0.5)
+	h.ObserveDuration(100)
+	g := r.Gauge("depth", "", "")
+	g.Set(4)
+	t := tr.Start("route", "id")
+	sp := t.StartSpan("phase")
+	sp.End()
+}

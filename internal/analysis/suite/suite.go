@@ -7,6 +7,7 @@ import (
 	"hydra/internal/analysis"
 	"hydra/internal/analysis/detpath"
 	"hydra/internal/analysis/errcontract"
+	"hydra/internal/analysis/obsbound"
 	"hydra/internal/analysis/poolsafety"
 	"hydra/internal/analysis/rngstream"
 	"hydra/internal/analysis/walorder"
@@ -17,6 +18,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detpath.Analyzer,
 		errcontract.Analyzer,
+		obsbound.Analyzer,
 		poolsafety.Analyzer,
 		rngstream.Analyzer,
 		walorder.Analyzer,

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime/metrics"
+)
+
+// runtimeSeries maps one runtime/metrics sample to one exported series.
+type runtimeSeries struct {
+	name    string // exported metric name
+	help    string
+	src     string // runtime/metrics key
+	counter bool   // monotone source → counter, else gauge
+}
+
+// runtimeCatalogue is the fixed set of runtime health series the serving
+// stack exports. All keys exist since Go 1.20, well under this module's
+// minimum toolchain.
+var runtimeCatalogue = []runtimeSeries{
+	{"hydra_go_goroutines", "Live goroutines.", "/sched/goroutines:goroutines", false},
+	{"hydra_go_heap_objects_bytes", "Bytes of live heap objects.", "/memory/classes/heap/objects:bytes", false},
+	{"hydra_go_heap_goal_bytes", "Heap size target of the next GC cycle.", "/gc/heap/goal:bytes", false},
+	{"hydra_go_mem_total_bytes", "Total memory mapped by the Go runtime.", "/memory/classes/total:bytes", false},
+	{"hydra_go_gc_cycles_total", "Completed GC cycles.", "/gc/cycles/total:gc-cycles", true},
+	{"hydra_go_heap_allocs_bytes_total", "Cumulative bytes allocated on the heap.", "/gc/heap/allocs:bytes", true},
+}
+
+// RegisterRuntimeMetrics exports the runtime health catalogue (goroutines,
+// heap, GC) on r. Values are read from runtime/metrics at scrape time.
+func RegisterRuntimeMetrics(r *Registry) {
+	for _, rs := range runtimeCatalogue {
+		src := rs.src
+		if rs.counter {
+			r.CounterFunc(rs.name, "", rs.help, func() uint64 { return readRuntimeUint(src) })
+		} else {
+			r.GaugeFunc(rs.name, "", rs.help, func() float64 { return float64(readRuntimeUint(src)) })
+		}
+	}
+}
+
+// readRuntimeUint reads one uint64-valued runtime/metrics sample (0 when the
+// key is unknown to this toolchain — scrapes degrade, never fail).
+func readRuntimeUint(name string) uint64 {
+	sample := []metrics.Sample{{Name: name}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}

@@ -371,6 +371,9 @@ func (s *System) AddSecurity(t rts.SecurityTask) (Placement, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Surface the long-lived state's staged RTA counters after each batch;
+	// runs under the lock (defers are LIFO).
+	defer s.st.FlushMetrics()
 	if _, dup := s.names[t.Name]; dup {
 		return Placement{}, fmt.Errorf("%w: %q", ErrDuplicateName, t.Name)
 	}
@@ -469,6 +472,7 @@ func (s *System) AddRT(t rts.RTTask) (Placement, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.st.FlushMetrics()
 	if _, dup := s.names[t.Name]; dup {
 		return Placement{}, fmt.Errorf("%w: %q", ErrDuplicateName, t.Name)
 	}
@@ -555,6 +559,7 @@ func (s *System) securityStaysFeasible(c int, t rts.RTTask) (PlacedSec, bool) {
 func (s *System) Remove(name string) (Removed, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.st.FlushMetrics()
 	kind, ok := s.names[name]
 	if !ok {
 		return Removed{}, fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -609,6 +614,7 @@ func (s *System) Remove(name string) (Removed, error) {
 func (s *System) Reallocate() (Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.st.FlushMetrics()
 	if err := s.reallocateLocked(); err != nil {
 		return Snapshot{}, err
 	}

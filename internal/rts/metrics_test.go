@@ -1,0 +1,100 @@
+package rts
+
+import "testing"
+
+// metricsTaskset commits a few tasks through the probe-then-commit pattern
+// the heuristics use, returning the delta this produced in the package
+// totals.
+func metricsDelta(t *testing.T, fn func(st *AnalysisState)) AnalysisMetricsSnapshot {
+	t.Helper()
+	before := ReadAnalysisMetrics()
+	st := NewAnalysisState(2)
+	fn(st)
+	st.FlushMetrics()
+	after := ReadAnalysisMetrics()
+	d := AnalysisMetricsSnapshot{
+		FixedPoints: after.FixedPoints - before.FixedPoints,
+		Iterations:  after.Iterations - before.Iterations,
+		WarmStarts:  after.WarmStarts - before.WarmStarts,
+		TrialReuses: after.TrialReuses - before.TrialReuses,
+	}
+	for i := range d.IterBuckets {
+		d.IterBuckets[i] = after.IterBuckets[i] - before.IterBuckets[i]
+	}
+	return d
+}
+
+func TestAnalysisMetricsCountFixedPoints(t *testing.T) {
+	d := metricsDelta(t, func(st *AnalysisState) {
+		if !st.AddRT(0, RTTask{Name: "a", C: 1, T: 10, D: 10}) {
+			t.Fatal("a rejected")
+		}
+		if !st.AddRT(0, RTTask{Name: "b", C: 2, T: 20, D: 20}) {
+			t.Fatal("b rejected")
+		}
+	})
+	// Task a: 1 fixed point. Task b: its own RTA plus none preempted below
+	// it... b is lower priority, so only b's own analysis runs (a is not
+	// re-analyzed: insertion at the end preempts nobody).
+	if d.FixedPoints == 0 {
+		t.Fatal("no fixed points recorded")
+	}
+	if d.Iterations < d.FixedPoints {
+		t.Fatalf("iterations %d < fixed points %d", d.Iterations, d.FixedPoints)
+	}
+	var bucketSum uint64
+	for _, b := range d.IterBuckets {
+		bucketSum += b
+	}
+	if bucketSum != d.FixedPoints {
+		t.Fatalf("bucket sum %d != fixed points %d", bucketSum, d.FixedPoints)
+	}
+}
+
+func TestAnalysisMetricsTrialReuse(t *testing.T) {
+	d := metricsDelta(t, func(st *AnalysisState) {
+		task := RTTask{Name: "a", C: 1, T: 10, D: 10}
+		if !st.TryAddRT(0, task) {
+			t.Fatal("trial rejected")
+		}
+		if !st.AddRT(0, task) {
+			t.Fatal("commit rejected")
+		}
+	})
+	if d.TrialReuses != 1 {
+		t.Fatalf("trial reuses = %d, want 1 (probe-then-commit must reuse)", d.TrialReuses)
+	}
+}
+
+func TestAnalysisMetricsWarmStarts(t *testing.T) {
+	d := metricsDelta(t, func(st *AnalysisState) {
+		// Commit a low-priority task first, then a higher-priority one: the
+		// re-analysis of the preempted task warm-starts from its memoized
+		// response time, which interference has pushed above its WCET.
+		if !st.AddRT(0, RTTask{Name: "low", C: 3, T: 100, D: 100}) {
+			t.Fatal("low rejected")
+		}
+		if !st.AddRT(0, RTTask{Name: "mid", C: 2, T: 50, D: 50}) {
+			t.Fatal("mid rejected")
+		}
+		if !st.AddRT(0, RTTask{Name: "high", C: 1, T: 10, D: 10}) {
+			t.Fatal("high rejected")
+		}
+	})
+	if d.WarmStarts == 0 {
+		t.Fatal("no warm starts recorded for preempted-task re-analysis")
+	}
+}
+
+func TestReleaseFlushesMetrics(t *testing.T) {
+	before := ReadAnalysisMetrics()
+	st := AcquireAnalysisState(1)
+	if !st.AddRT(0, RTTask{Name: "a", C: 1, T: 10, D: 10}) {
+		t.Fatal("a rejected")
+	}
+	ReleaseAnalysisState(st)
+	after := ReadAnalysisMetrics()
+	if after.FixedPoints == before.FixedPoints {
+		t.Fatal("ReleaseAnalysisState did not flush staged counters")
+	}
+}

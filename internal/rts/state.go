@@ -30,6 +30,7 @@ import (
 // not safe for concurrent use; each goroutine acquires its own.
 type AnalysisState struct {
 	cores []coreState
+	met   AnalysisMetrics // staged count-only instrumentation (metrics.go)
 }
 
 // coreState is the per-core half of AnalysisState.
@@ -80,6 +81,7 @@ func AcquireAnalysisState(m int) *AnalysisState {
 // it afterwards.
 func ReleaseAnalysisState(st *AnalysisState) {
 	if st != nil {
+		st.FlushMetrics()
 		statePool.Put(st)
 	}
 }
@@ -91,8 +93,10 @@ func NewAnalysisState(m int) *AnalysisState {
 	return st
 }
 
-// Reset clears the state to m empty cores, retaining internal buffers.
+// Reset clears the state to m empty cores, retaining internal buffers. Any
+// staged instrumentation is flushed to the package totals first.
 func (st *AnalysisState) Reset(m int) {
+	st.FlushMetrics()
 	if cap(st.cores) < m {
 		st.cores = append(st.cores[:cap(st.cores)], make([]coreState, m-cap(st.cores))...)
 	}
@@ -152,9 +156,12 @@ func (cs *coreState) rmInsertionIndex(t RTTask) int {
 // non-nil) interfering from RM position insertAt — the exact interference
 // summation order the historical copy+sort path produced. The iteration is
 // warm-started from seed (clamped up to c); any seed at or below the true
-// fixed point yields the identical fixed point and verdicts.
-func (cs *coreState) rtResponse(c, d Time, hi, insertAt int, extra *RTTask, seed Time) (Time, bool, bool) {
+// fixed point yields the identical fixed point and verdicts. met stages the
+// invocation's iteration count (count-only; never nil — callers pass the
+// owning state's stage).
+func (cs *coreState) rtResponse(met *AnalysisMetrics, c, d Time, hi, insertAt int, extra *RTTask, seed Time) (Time, bool, bool) {
 	r := seed
+	warm := r > c
 	if r < c {
 		r = c
 	}
@@ -170,13 +177,16 @@ func (cs *coreState) rtResponse(c, d Time, hi, insertAt int, extra *RTTask, seed
 			next += math.Ceil(r/cs.rm[i].T) * cs.rm[i].C
 		}
 		if next == r {
+			met.observe(iter+1, warm)
 			return r, r <= d, true
 		}
 		if next > d {
+			met.observe(iter+1, warm)
 			return next, false, true
 		}
 		r = next
 	}
+	met.observe(MaxRTAIterations, warm)
 	return r, false, false
 }
 
@@ -189,13 +199,13 @@ func (st *AnalysisState) TryAddRT(c int, t RTTask) bool {
 	cs := &st.cores[c]
 	cs.trial.valid = false
 	k := cs.rmInsertionIndex(t)
-	rNew, ok, _ := cs.rtResponse(t.C, t.D, k, k, nil, t.C)
+	rNew, ok, _ := cs.rtResponse(&st.met, t.C, t.D, k, k, nil, t.C)
 	if !ok {
 		return false
 	}
 	cs.trial.resp = cs.trial.resp[:0]
 	for i := k; i < len(cs.rm); i++ {
-		r, ok, _ := cs.rtResponse(cs.rm[i].C, cs.rm[i].D, i, k, &t, cs.resp[i])
+		r, ok, _ := cs.rtResponse(&st.met, cs.rm[i].C, cs.rm[i].D, i, k, &t, cs.resp[i])
 		if !ok {
 			return false
 		}
@@ -216,18 +226,19 @@ func (st *AnalysisState) AddRT(c int, t RTTask) bool {
 	if cs.trial.valid && cs.trial.task == t {
 		// The heuristics probe with TryAddRT and then commit the chosen
 		// core; reuse that trial's analysis instead of repeating it.
+		st.met.TrialReuses++
 		k, rNew = cs.trial.k, cs.trial.rNew
 		cs.tmp = append(cs.tmp[:0], cs.trial.resp...)
 	} else {
 		k = cs.rmInsertionIndex(t)
 		var ok bool
-		rNew, ok, _ = cs.rtResponse(t.C, t.D, k, k, nil, t.C)
+		rNew, ok, _ = cs.rtResponse(&st.met, t.C, t.D, k, k, nil, t.C)
 		if !ok {
 			return false
 		}
 		cs.tmp = cs.tmp[:0]
 		for i := k; i < len(cs.rm); i++ {
-			r, ok, _ := cs.rtResponse(cs.rm[i].C, cs.rm[i].D, i, k, &t, cs.resp[i])
+			r, ok, _ := cs.rtResponse(&st.met, cs.rm[i].C, cs.rm[i].D, i, k, &t, cs.resp[i])
 			if !ok {
 				return false
 			}
@@ -372,7 +383,7 @@ func (st *AnalysisState) RTResponseTimes(c int, buf []Time) []Time {
 	cs := &st.cores[c]
 	for i := range cs.rm {
 		if cs.resp[i] == 0 {
-			r, _, _ := cs.rtResponse(cs.rm[i].C, cs.rm[i].D, i, i, nil, cs.resp[i])
+			r, _, _ := cs.rtResponse(&st.met, cs.rm[i].C, cs.rm[i].D, i, i, nil, cs.resp[i])
 			cs.resp[i] = r
 		}
 		buf = append(buf, cs.resp[i])
@@ -386,7 +397,7 @@ func (st *AnalysisState) RTResponseTimes(c int, buf []Time) []Time {
 func (st *AnalysisState) RTSchedulable(c int) bool {
 	cs := &st.cores[c]
 	for i := range cs.rm {
-		r, ok, _ := cs.rtResponse(cs.rm[i].C, cs.rm[i].D, i, i, nil, cs.resp[i])
+		r, ok, _ := cs.rtResponse(&st.met, cs.rm[i].C, cs.rm[i].D, i, i, nil, cs.resp[i])
 		if !ok {
 			return false
 		}

@@ -29,6 +29,7 @@ import (
 // which the serving benchmarks showed costing about as much as the
 // allocation itself.
 var keyBufPool = sync.Pool{New: func() any {
+	keyBufNews.Add(1)
 	b := make([]byte, 0, 1024)
 	return &b
 }}
@@ -44,6 +45,7 @@ var keyBufPool = sync.Pool{New: func() any {
 // once in a pooled buffer and hashed directly instead of round-tripping
 // through a JSON document.
 func Key(p *tasksetio.Problem, scheme string, h partition.Heuristic, version stats.RNGVersion) string {
+	keyBufGets.Add(1)
 	bufp := keyBufPool.Get().(*[]byte)
 	buf := (*bufp)[:0]
 	buf = append(buf, scheme...)

@@ -30,6 +30,7 @@ type LatencyStats struct {
 	MeanMS float64 `json:"mean_ms"` // over the retained window
 	P50MS  float64 `json:"p50_ms"`
 	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
 	MaxMS  float64 `json:"max_ms"`
 }
 
@@ -86,6 +87,7 @@ func (l *latencyRecorder) snapshot() LatencyStats {
 	out.MeanMS = e.Mean()
 	out.P50MS = e.Quantile(0.5)
 	out.P90MS = e.Quantile(0.9)
+	out.P99MS = e.Quantile(0.99)
 	out.MaxMS = e.Max()
 	return out
 }

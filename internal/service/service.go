@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -16,6 +17,7 @@ import (
 	"hydra/internal/engine"
 	"hydra/internal/experiments"
 	"hydra/internal/jobs"
+	"hydra/internal/obs"
 	"hydra/internal/partition"
 	"hydra/internal/sim"
 	"hydra/internal/stats"
@@ -78,6 +80,18 @@ type Config struct {
 	// before the mutation is acknowledged. Off by default — admissions stay
 	// in the page cache and survive process crashes, not kernel crashes.
 	SystemWALSync bool
+	// TraceSample enables head-sampled request tracing: one trace per N
+	// requests lands in the /v1/debug/traces ring. Zero (the default)
+	// disables tracing entirely; the serving path then performs no trace
+	// work at all.
+	TraceSample int
+	// TraceRing bounds the completed-trace ring. Zero or negative selects
+	// obs.DefaultTraceRing.
+	TraceRing int
+	// Logger receives structured logs (service lifecycle plus the
+	// per-request access log, the latter at Debug and 5xx at Error). Nil
+	// selects a disabled logger: no levels enabled, no logging cost.
+	Logger *slog.Logger
 }
 
 // Server implements the allocation service. Create with New; it is an
@@ -88,6 +102,7 @@ type Server struct {
 	cache     *Cache
 	jobs      *jobs.Manager
 	systems   *syspersist.Registry
+	obs       *serverObs      // metrics registry, tracer, structured logger
 	cold      latencyRecorder // allocate latency when the allocation actually ran
 	hot       latencyRecorder // allocate latency when served from cache
 	coalesced latencyRecorder // allocate latency when waiting on an identical in-flight run
@@ -109,6 +124,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SystemShards < 0 || cfg.SystemShards > 256 {
 		return nil, fmt.Errorf("service: system shards must be in [0, 256] (0 = GOMAXPROCS-derived default), got %d", cfg.SystemShards)
 	}
+	if cfg.TraceSample < 0 {
+		return nil, fmt.Errorf("service: trace sample must be non-negative (0 = off), got %d", cfg.TraceSample)
+	}
+	sobs := newServerObs(cfg)
 	mgr, err := jobs.NewManager(cfg.JobsDir, cfg.MaxJobs)
 	if err != nil {
 		return nil, fmt.Errorf("service: open jobs dir: %w", err)
@@ -119,6 +138,7 @@ func New(cfg Config) (*Server, error) {
 		MaxSystems:    cfg.MaxSystems,
 		SnapshotEvery: cfg.SnapshotEvery,
 		Fsync:         cfg.SystemWALSync,
+		Observer:      sobs,
 	})
 	if err != nil {
 		mgr.Close()
@@ -130,31 +150,36 @@ func New(cfg Config) (*Server, error) {
 		cache:   NewCacheStriped(cfg.CacheSize, cfg.CacheStripes),
 		jobs:    mgr,
 		systems: registry,
+		obs:     sobs,
 		mux:     http.NewServeMux(),
 		ctx:     ctx,
 		cancel:  cancel,
 	}
-	s.mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
-	s.mux.HandleFunc("POST /v1/allocate/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /v1/experiments", s.handleExperimentSubmit)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
-	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperimentStatus)
-	s.mux.HandleFunc("GET /v1/experiments/{id}/result", s.handleExperimentResult)
-	s.mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleExperimentEvents)
-	s.mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleExperimentCancel)
-	s.mux.HandleFunc("POST /v1/systems", s.handleSystemCreate)
-	s.mux.HandleFunc("GET /v1/systems", s.handleSystemList)
-	s.mux.HandleFunc("GET /v1/systems/{id}", s.handleSystemGet)
-	s.mux.HandleFunc("DELETE /v1/systems/{id}", s.handleSystemDelete)
-	s.mux.HandleFunc("POST /v1/systems/{id}/tasks", s.handleSystemAddTask)
-	s.mux.HandleFunc("DELETE /v1/systems/{id}/tasks/{task}", s.handleSystemRemoveTask)
-	s.mux.HandleFunc("POST /v1/systems/{id}/reallocate", s.handleSystemReallocate)
-	s.mux.HandleFunc("GET /v1/systems/{id}/events", s.handleSystemEvents)
-	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.bindMetrics()
+	s.handle("POST /v1/allocate", s.handleAllocate)
+	s.handle("POST /v1/allocate/batch", s.handleBatch)
+	s.handle("POST /v1/verify", s.handleVerify)
+	s.handle("POST /v1/simulate", s.handleSimulate)
+	s.handle("POST /v1/experiments", s.handleExperimentSubmit)
+	s.handle("GET /v1/experiments", s.handleExperimentList)
+	s.handle("GET /v1/experiments/{id}", s.handleExperimentStatus)
+	s.handle("GET /v1/experiments/{id}/result", s.handleExperimentResult)
+	s.handle("GET /v1/experiments/{id}/events", s.handleExperimentEvents)
+	s.handle("DELETE /v1/experiments/{id}", s.handleExperimentCancel)
+	s.handle("POST /v1/systems", s.handleSystemCreate)
+	s.handle("GET /v1/systems", s.handleSystemList)
+	s.handle("GET /v1/systems/{id}", s.handleSystemGet)
+	s.handle("DELETE /v1/systems/{id}", s.handleSystemDelete)
+	s.handle("POST /v1/systems/{id}/tasks", s.handleSystemAddTask)
+	s.handle("DELETE /v1/systems/{id}/tasks/{task}", s.handleSystemRemoveTask)
+	s.handle("POST /v1/systems/{id}/reallocate", s.handleSystemReallocate)
+	s.handle("GET /v1/systems/{id}/events", s.handleSystemEvents)
+	s.handle("GET /v1/schemes", s.handleSchemes)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /v1/version", s.handleVersion)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /v1/debug/traces", s.handleTraces)
+	s.handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return s, nil
@@ -298,12 +323,16 @@ type errorResponse struct {
 // respBufPool recycles response-encoding buffers: every JSON response is
 // built by an encoder writing into a pooled buffer instead of MarshalIndent
 // allocating a fresh (and internally doubled) one per request.
-var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+var respBufPool = sync.Pool{New: func() any {
+	respBufNews.Add(1)
+	return new(bytes.Buffer)
+}}
 
 // encodeJSON renders v in the service's uniform shape (two-space indent,
 // trailing newline — byte-identical to the historical MarshalIndent path)
 // into a pooled buffer. The caller must releaseBuf it after use.
 func encodeJSON(v any) (*bytes.Buffer, error) {
+	respBufGets.Add(1)
 	buf := respBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	enc := json.NewEncoder(buf)
@@ -337,11 +366,15 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // endpoints (allocate, batch, system task admission): the body is drained
 // into a pooled buffer and decoded from memory, instead of the JSON decoder
 // growing a fresh internal read buffer per request.
-var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+var bodyBufPool = sync.Pool{New: func() any {
+	bodyBufNews.Add(1)
+	return new(bytes.Buffer)
+}}
 
 // decodeRequest strictly parses a JSON request body into v through a pooled
 // decode buffer.
 func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	bodyBufGets.Add(1)
 	buf := bodyBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer bodyBufPool.Put(buf)
@@ -381,9 +414,12 @@ func resolveResultsVersion(v int) (stats.RNGVersion, error) {
 }
 
 // allocate serves one allocation problem through the canonical-hash cache,
-// recording latency under the cold or hit series. The returned body is the
-// exact bytes every identical request receives.
-func (s *Server) allocate(doc *tasksetio.Document, schemeName, heuristicName string, resultsVersion int) ([]byte, bool, int, error) {
+// recording latency under the cold or hit series (both the /v1/stats window
+// recorders and the /metrics histograms — same events, so the two surfaces
+// agree on counts). tr may be nil (the unsampled case); span recording then
+// costs nothing. The returned body is the exact bytes every identical
+// request receives.
+func (s *Server) allocate(tr *obs.Trace, doc *tasksetio.Document, schemeName, heuristicName string, resultsVersion int) ([]byte, bool, int, error) {
 	alloc, err := resolveScheme(schemeName)
 	if err != nil {
 		return nil, false, http.StatusBadRequest, err
@@ -400,19 +436,29 @@ func (s *Server) allocate(doc *tasksetio.Document, schemeName, heuristicName str
 	if err != nil {
 		return nil, false, http.StatusBadRequest, err
 	}
+	sp := tr.StartSpan("canonical-key")
 	canon := p.Canonical()
 	key := Key(canon, alloc.Name(), h, version)
+	sp.End()
+	sp = tr.StartSpan("cache-do")
 	start := time.Now()
 	body, outcome, err := s.cache.Do(key, func() ([]byte, error) {
+		csp := tr.StartSpan("allocate-compute")
+		defer csp.End()
 		return computeAllocation(canon, alloc, h)
 	})
+	d := time.Since(start)
+	sp.End()
 	switch outcome {
 	case OutcomeHit:
-		s.hot.add(time.Since(start))
+		s.hot.add(d)
+		s.obs.allocHit.ObserveDuration(d)
 	case OutcomeCoalesced:
-		s.coalesced.add(time.Since(start))
+		s.coalesced.add(d)
+		s.obs.allocCoalesced.ObserveDuration(d)
 	default:
-		s.cold.add(time.Since(start))
+		s.cold.add(d)
+		s.obs.allocCold.ObserveDuration(d)
 	}
 	hit := outcome.FromMemory()
 	if err != nil {
@@ -449,11 +495,15 @@ func computeAllocation(canon *tasksetio.Problem, alloc core.Allocator, h partiti
 }
 
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	tr := traceFrom(r.Context())
+	sp := tr.StartSpan("decode")
 	var req AllocateRequest
-	if !decodeRequest(w, r, &req) {
+	ok := decodeRequest(w, r, &req)
+	sp.End()
+	if !ok {
 		return
 	}
-	body, hit, status, err := s.allocate(&req.Taskset, req.Scheme, req.Heuristic, req.ResultsVersion)
+	body, hit, status, err := s.allocate(tr, &req.Taskset, req.Scheme, req.Heuristic, req.ResultsVersion)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
@@ -466,8 +516,10 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Cache", "MISS")
 	}
+	sp = tr.StartSpan("write-body")
 	w.WriteHeader(status)
 	_, _ = w.Write(body)
+	sp.End()
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -497,7 +549,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	results, err := engine.Run(ctx, req.Tasksets,
 		func(ctx context.Context, idx int, _ *rand.Rand, doc tasksetio.Document) (json.RawMessage, error) {
-			body, _, _, err := s.allocate(&doc, req.Scheme, req.Heuristic, req.ResultsVersion)
+			body, _, _, err := s.allocate(nil, &doc, req.Scheme, req.Heuristic, req.ResultsVersion)
 			if err != nil {
 				return nil, fmt.Errorf("taskset %d: %w", idx, err)
 			}

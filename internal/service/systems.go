@@ -176,7 +176,9 @@ func (s *Server) handleSystemCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reallocate_after must be >= 0, got %d", req.ReallocateAfter)
 		return
 	}
+	sp := traceFrom(r.Context()).StartSpan("persist-apply")
 	sys, err := s.systems.Create(req.ID, req.Scheme, h, p.M, p.RT, p.RTPartition, p.Sec, req.ReallocateAfter)
+	sp.End()
 	if err != nil {
 		writeError(w, systemStatus(err), "%v", err)
 		return
@@ -239,6 +241,7 @@ func (s *Server) handleSystemAddTask(w http.ResponseWriter, r *http.Request) {
 		placement online.Placement
 		err       error
 	)
+	sp := traceFrom(r.Context()).StartSpan("persist-apply")
 	if req.RTTask != nil {
 		t := *req.RTTask
 		deadline := t.Deadline
@@ -254,6 +257,7 @@ func (s *Server) handleSystemAddTask(w http.ResponseWriter, r *http.Request) {
 			Name: t.Name, C: t.WCET, TDes: t.DesiredPeriod, TMax: t.MaxPeriod, Weight: t.Weight,
 		})
 	}
+	sp.End()
 	if err != nil {
 		var rej *online.Rejection
 		if errors.As(err, &rej) {
@@ -278,7 +282,9 @@ func (s *Server) handleSystemRemoveTask(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	name := r.PathValue("task")
+	sp := traceFrom(r.Context()).StartSpan("persist-apply")
 	removed, err := sys.Remove(name)
+	sp.End()
 	if err != nil {
 		writeError(w, systemStatus(err), "%v", err)
 		return
@@ -293,7 +299,9 @@ func (s *Server) handleSystemReallocate(w http.ResponseWriter, r *http.Request) 
 	if !ok {
 		return
 	}
+	sp := traceFrom(r.Context()).StartSpan("persist-apply")
 	snap, err := sys.Reallocate()
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return

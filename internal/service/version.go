@@ -1,0 +1,53 @@
+package service
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+
+	"hydra/internal/stats"
+)
+
+// VersionResponse is the body of GET /v1/version: what is running and under
+// which default results contract — the first thing support asks for.
+type VersionResponse struct {
+	Version        string `json:"version"`         // module version ("devel" for untagged builds)
+	Commit         string `json:"commit"`          // VCS revision ("unknown" outside a checkout)
+	Modified       bool   `json:"modified"`        // VCS tree had local modifications
+	GoVersion      string `json:"go_version"`      // toolchain that built the binary
+	ResultsVersion int    `json:"results_version"` // default results contract for unpinned requests
+}
+
+// buildVersion derives the version report from the binary's embedded build
+// info. Every field degrades to a stable placeholder when the info is
+// absent (tests, go run): the endpoint never errors.
+func buildVersion() VersionResponse {
+	v := VersionResponse{
+		Version:        "devel",
+		Commit:         "unknown",
+		GoVersion:      runtime.Version(),
+		ResultsVersion: int(stats.DefaultResultsVersion),
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if mv := info.Main.Version; mv != "" && mv != "(devel)" {
+		v.Version = mv
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if s.Value != "" {
+				v.Commit = s.Value
+			}
+		case "vcs.modified":
+			v.Modified = s.Value == "true"
+		}
+	}
+	return v
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, buildVersion())
+}

@@ -1,0 +1,20 @@
+package syspersist
+
+import "time"
+
+// Observer receives the durability layer's latency signals: how long op-log
+// appends, fsyncs and snapshot writes take. A nil Observer is the default
+// and costs nothing — no clock is read on any persistence path unless one is
+// attached (the admit-ack benchmarks run unobserved). Implementations must be
+// safe for concurrent use: appends are serialized per system, but snapshot
+// writes happen on background goroutines and many systems share one observer.
+type Observer interface {
+	// ObserveWALAppend reports the wall time of one op-log line write
+	// (excluding the fsync, reported separately).
+	ObserveWALAppend(d time.Duration)
+	// ObserveWALFsync reports the wall time of one op-log fsync. Only called
+	// when fsync is enabled.
+	ObserveWALFsync(d time.Duration)
+	// ObserveSnapshot reports the wall time of one snapshot file write.
+	ObserveSnapshot(d time.Duration)
+}

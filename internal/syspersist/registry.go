@@ -134,6 +134,9 @@ type Options struct {
 	// is acknowledged. Off by default: the admit path stays in the page
 	// cache, and a kernel crash (not a process crash) can lose the tail.
 	Fsync bool
+	// Observer, when non-nil, receives append/fsync/snapshot latencies from
+	// every system's store. Nil keeps the persistence paths clock-free.
+	Observer Observer
 }
 
 // Registry hosts the durable systems of one server process, sharded by
@@ -143,6 +146,7 @@ type Options struct {
 type Registry struct {
 	dir    string
 	fsync  bool
+	obs    Observer
 	every  int
 	max    int
 	mask   uint32
@@ -190,6 +194,7 @@ func Open(opts Options) (*Registry, error) {
 	r := &Registry{
 		dir:    dir,
 		fsync:  opts.Fsync,
+		obs:    opts.Observer,
 		every:  every,
 		max:    max,
 		mask:   uint32(shards - 1),
@@ -239,7 +244,7 @@ func (r *Registry) recoverAll() error {
 					return fmt.Errorf("syspersist: rehome %s: %w", id, err)
 				}
 			}
-			ds, err := Recover(dst, r.every, r.fsync)
+			ds, err := Recover(dst, r.every, r.fsync, r.obs)
 			if err != nil {
 				return fmt.Errorf("syspersist: recover %s: %w", id, err)
 			}
@@ -352,7 +357,7 @@ func (r *Registry) buildSystem(sh *shard, id, scheme string, h partition.Heurist
 		man.SecurityTasks = append(man.SecurityTasks, secToJSON(t))
 	}
 	dir := filepath.Join(sh.dir, id)
-	store, err := CreateStore(dir, man, r.fsync)
+	store, err := CreateStore(dir, man, r.fsync, r.obs)
 	if err != nil {
 		_ = os.RemoveAll(dir)
 		return nil, err
@@ -475,7 +480,7 @@ func (r *Registry) Rebalance(id string) (*DurableSystem, error) {
 			return nil, fmt.Errorf("syspersist: rebalance %s: %w", id, err)
 		}
 	}
-	fresh, err := Recover(dst, r.every, r.fsync)
+	fresh, err := Recover(dst, r.every, r.fsync, r.obs)
 	if err != nil {
 		reinstate(ds)
 		return nil, err

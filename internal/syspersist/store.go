@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"hydra/internal/online"
 	"hydra/internal/rts"
@@ -166,6 +167,7 @@ func (sn *SnapshotFile) persistedState() online.PersistedState {
 type Store struct {
 	dir   string
 	fsync bool
+	obs   Observer // nil = unobserved; no clocks on the persistence paths
 	log   *os.File
 	seq   uint64 // last appended record's Seq
 	buf   []byte // append scratch
@@ -206,8 +208,9 @@ func writeFileAtomic(path string, data []byte, fsync bool) error {
 
 // CreateStore initializes a fresh system directory: it writes the manifest
 // atomically and opens an empty op log. The directory must not already hold a
-// system (a half-created leftover is fine — it is overwritten).
-func CreateStore(dir string, man Manifest, fsync bool) (*Store, error) {
+// system (a half-created leftover is fine — it is overwritten). obs, when
+// non-nil, receives append/fsync/snapshot timings.
+func CreateStore(dir string, man Manifest, fsync bool, obs Observer) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -222,17 +225,17 @@ func CreateStore(dir string, man Manifest, fsync bool) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, fsync: fsync, log: log}, nil
+	return &Store{dir: dir, fsync: fsync, obs: obs, log: log}, nil
 }
 
 // openLog opens the op log of an existing system directory for appending,
 // continuing after the given last sequence number.
-func openLog(dir string, lastSeq uint64, fsync bool) (*Store, error) {
+func openLog(dir string, lastSeq uint64, fsync bool, obs Observer) (*Store, error) {
 	log, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, fsync: fsync, log: log, seq: lastSeq}, nil
+	return &Store{dir: dir, fsync: fsync, obs: obs, log: log, seq: lastSeq}, nil
 }
 
 // Append assigns the next sequence number to rec and writes it as one log
@@ -245,12 +248,25 @@ func (st *Store) Append(rec *Record) error {
 		return err
 	}
 	st.buf = append(append(st.buf[:0], line...), '\n')
+	var t0 time.Time
+	if st.obs != nil {
+		t0 = time.Now()
+	}
 	if _, err := st.log.Write(st.buf); err != nil {
 		return fmt.Errorf("syspersist: append op log: %w", err)
 	}
+	if st.obs != nil {
+		st.obs.ObserveWALAppend(time.Since(t0))
+	}
 	if st.fsync {
+		if st.obs != nil {
+			t0 = time.Now()
+		}
 		if err := st.log.Sync(); err != nil {
 			return fmt.Errorf("syspersist: sync op log: %w", err)
+		}
+		if st.obs != nil {
+			st.obs.ObserveWALFsync(time.Since(t0))
 		}
 	}
 	st.seq = rec.Seq
@@ -263,7 +279,15 @@ func (st *Store) WriteSnapshot(sn SnapshotFile) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(st.dir, snapshotName), append(data, '\n'), st.fsync)
+	var t0 time.Time
+	if st.obs != nil {
+		t0 = time.Now()
+	}
+	err = writeFileAtomic(filepath.Join(st.dir, snapshotName), append(data, '\n'), st.fsync)
+	if st.obs != nil && err == nil {
+		st.obs.ObserveSnapshot(time.Since(t0))
+	}
+	return err
 }
 
 // Close closes the op-log handle. The store must not be used afterwards.

@@ -245,8 +245,10 @@ func applyRecord(sys *online.System, rec Record) error {
 // the log does not contain is ignored — full replay from the manifest), then
 // replay of the op tail, and finally reopening the log for appends. No event
 // is re-logged for replayed history, so event versions stay contiguous with
-// the previous life.
-func Recover(dir string, snapshotEvery int, fsync bool) (*DurableSystem, error) {
+// the previous life. obs, when non-nil, observes the reopened store's
+// persistence latencies (replay itself is not timed — it is recovery, not
+// serving).
+func Recover(dir string, snapshotEvery int, fsync bool, obs Observer) (*DurableSystem, error) {
 	man, err := readManifest(dir)
 	if err != nil {
 		return nil, err
@@ -293,7 +295,7 @@ func Recover(dir string, snapshotEvery int, fsync bool) (*DurableSystem, error) 
 			return nil, err
 		}
 	}
-	store, err := openLog(dir, lastSeq, fsync)
+	store, err := openLog(dir, lastSeq, fsync, obs)
 	if err != nil {
 		return nil, err
 	}
